@@ -1,0 +1,341 @@
+// Package autocat is a from-scratch Go reproduction of "AutoCAT:
+// Reinforcement Learning for Automated Exploration of Cache-Timing
+// Attacks" (HPCA 2023): a framework that formulates cache-timing attacks
+// as a guessing game and trains a PPO agent to discover attack sequences
+// against simulated caches, black-box cache models, and
+// detection/defense-hardened targets.
+//
+// This package is the public API facade; the implementation lives in
+// internal packages. A minimal exploration looks like:
+//
+//	res, err := autocat.Explore(autocat.ExploreConfig{
+//	    Env: autocat.EnvConfig{
+//	        Cache:      autocat.CacheConfig{NumBlocks: 4, NumWays: 4, Policy: autocat.LRU},
+//	        AttackerLo: 0, AttackerHi: 3,
+//	        VictimLo: 0, VictimHi: 0,
+//	        FlushEnable:    true,
+//	        VictimNoAccess: true,
+//	    },
+//	    PPO: autocat.PPOConfig{MaxEpochs: 80},
+//	})
+//	fmt.Println(res.Sequence, res.Category)
+//
+// See the examples/ directory for runnable programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the paper-vs-measured record.
+package autocat
+
+import (
+	"io"
+
+	"autocat/internal/agents"
+	"autocat/internal/analysis"
+	"autocat/internal/cache"
+	"autocat/internal/core"
+	"autocat/internal/covert"
+	"autocat/internal/detect"
+	"autocat/internal/env"
+	"autocat/internal/hw"
+	"autocat/internal/nn"
+	"autocat/internal/rl"
+	"autocat/internal/search"
+	"autocat/internal/svm"
+	"autocat/internal/trace"
+)
+
+// Cache simulator surface (internal/cache).
+type (
+	// CacheConfig describes a single-level simulated cache (Table II).
+	CacheConfig = cache.Config
+	// Cache is the software cache simulator.
+	Cache = cache.Cache
+	// Addr is a cache-line-granular address.
+	Addr = cache.Addr
+	// Domain attributes accesses to the attacker or victim.
+	Domain = cache.Domain
+	// HierarchyConfig describes a two-level inclusive hierarchy.
+	HierarchyConfig = cache.HierarchyConfig
+	// Hierarchy is the two-level cache of Table IV configs 16-17.
+	Hierarchy = cache.Hierarchy
+	// Eviction records one displaced line with domain attribution.
+	Eviction = cache.Eviction
+	// PolicyKind names a replacement policy.
+	PolicyKind = cache.PolicyKind
+	// PrefetcherKind names a prefetcher model.
+	PrefetcherKind = cache.PrefetcherKind
+)
+
+// Replacement policies and prefetchers.
+const (
+	LRU    = cache.LRU
+	PLRU   = cache.PLRU
+	RRIP   = cache.RRIP
+	Random = cache.Random
+
+	NoPrefetch     = cache.NoPrefetch
+	NextLine       = cache.NextLine
+	StreamPrefetch = cache.StreamPrefetch
+
+	DomainAttacker = cache.DomainAttacker
+	DomainVictim   = cache.DomainVictim
+)
+
+// NewCache builds a cache simulator; it panics on invalid configuration
+// (call CacheConfig.Validate first for error handling).
+func NewCache(cfg CacheConfig) *Cache { return cache.New(cfg) }
+
+// NewHierarchy builds a two-level inclusive hierarchy.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy { return cache.NewHierarchy(cfg) }
+
+// Guessing-game environment surface (internal/env).
+type (
+	// EnvConfig assembles one guessing game (Table II options).
+	EnvConfig = env.Config
+	// Env is the Gym-style cache guessing game.
+	Env = env.Env
+	// Rewards mirrors the reward options of Table II.
+	Rewards = env.Rewards
+	// Target abstracts the cache under attack.
+	Target = env.Target
+	// HierarchyTarget adapts a two-level hierarchy (victim on core 0,
+	// attacker on core 1).
+	HierarchyTarget = env.HierarchyTarget
+	// TraceStep is one executed environment step.
+	TraceStep = env.TraceStep
+	// ActionKind classifies the discrete actions.
+	ActionKind = env.ActionKind
+)
+
+// NoAccess is the sentinel secret for "the victim makes no access".
+const NoAccess = env.NoAccess
+
+// Action kinds.
+const (
+	KindAccess    = env.KindAccess
+	KindFlush     = env.KindFlush
+	KindVictim    = env.KindVictim
+	KindGuess     = env.KindGuess
+	KindGuessNone = env.KindGuessNone
+)
+
+// NewEnv builds a guessing-game environment.
+func NewEnv(cfg EnvConfig) (*Env, error) { return env.New(cfg) }
+
+// MustEnv builds an environment and panics on configuration errors; a
+// convenience for examples and tests.
+func MustEnv(cfg EnvConfig) *Env {
+	e, err := env.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// DefaultRewards returns the paper's reward values (+1 / -1 / -0.01).
+func DefaultRewards() Rewards { return env.DefaultRewards() }
+
+// RL engine surface (internal/rl, internal/nn).
+type (
+	// PPOConfig carries the PPO hyperparameters.
+	PPOConfig = rl.PPOConfig
+	// Trainer is the synchronous parallel PPO trainer.
+	Trainer = rl.Trainer
+	// TrainResult summarizes a training run.
+	TrainResult = rl.Result
+	// EvalStats aggregates greedy-policy evaluation.
+	EvalStats = rl.EvalStats
+	// Episode is one replayed episode.
+	Episode = rl.Episode
+	// PolicyValueNet is the policy/value network contract.
+	PolicyValueNet = nn.PolicyValueNet
+	// MLPConfig sizes the MLP backbone.
+	MLPConfig = nn.MLPConfig
+	// TransformerConfig sizes the Transformer-encoder backbone.
+	TransformerConfig = nn.TransformerConfig
+)
+
+// NewTrainer wires a policy network to parallel environments.
+func NewTrainer(net PolicyValueNet, envs []*Env, cfg PPOConfig) (*Trainer, error) {
+	return rl.NewTrainer(net, envs, cfg)
+}
+
+// NewMLP builds the MLP policy/value network.
+func NewMLP(cfg MLPConfig) PolicyValueNet { return nn.NewMLP(cfg) }
+
+// NewTransformer builds the Transformer-encoder policy/value network (the
+// paper's backbone).
+func NewTransformer(cfg TransformerConfig) PolicyValueNet { return nn.NewTransformer(cfg) }
+
+// SaveWeights serializes a trained policy's parameters so an attack can
+// be replayed later without retraining.
+func SaveWeights(w io.Writer, net PolicyValueNet) error { return nn.SaveWeights(w, net) }
+
+// LoadWeights restores parameters saved by SaveWeights into an
+// identically shaped network.
+func LoadWeights(r io.Reader, net PolicyValueNet) error { return nn.LoadWeights(r, net) }
+
+// Evaluate replays n greedy episodes and aggregates statistics.
+func Evaluate(net PolicyValueNet, e *Env, n int) EvalStats { return rl.Evaluate(net, e, n) }
+
+// ReplayGreedy rolls out one deterministic episode.
+func ReplayGreedy(net PolicyValueNet, e *Env) Episode { return rl.ReplayGreedy(net, e) }
+
+// ExtractAttack replays greedy episodes until one guesses correctly.
+func ExtractAttack(net PolicyValueNet, e *Env, maxTries int) (Episode, bool) {
+	return rl.ExtractAttack(net, e, maxTries)
+}
+
+// Explorer surface (internal/core) — the full AutoCAT pipeline.
+type (
+	// ExploreConfig assembles one exploration run.
+	ExploreConfig = core.Config
+	// ExploreResult is the outcome: attack sequence, category, stats.
+	ExploreResult = core.Result
+	// Explorer owns the environments, network, and trainer of one run.
+	Explorer = core.Explorer
+	// Backbone selects the policy architecture.
+	Backbone = core.Backbone
+)
+
+// Policy backbones.
+const (
+	BackboneMLP         = core.MLP
+	BackboneTransformer = core.Transformer
+)
+
+// Explore trains an agent on the configuration, extracts the attack
+// sequence by deterministic replay, and classifies it.
+func Explore(cfg ExploreConfig) (*ExploreResult, error) { return core.Explore(cfg) }
+
+// NewExplorer builds an explorer without running it.
+func NewExplorer(cfg ExploreConfig) (*Explorer, error) { return core.New(cfg) }
+
+// Detection surface (internal/detect, internal/svm, internal/trace).
+type (
+	// Detector screens an episode of cache activity.
+	Detector = detect.Detector
+	// MissBased flags victim cache misses (µarch-statistics detection).
+	MissBased = detect.MissBased
+	// CCHunter is the autocorrelation detector.
+	CCHunter = detect.CCHunter
+	// Cyclone is the SVM detector over cyclic-interference features.
+	Cyclone = detect.Cyclone
+	// DetectorAccess is the per-step record detectors consume.
+	DetectorAccess = detect.Access
+	// SVMModel is a trained linear SVM.
+	SVMModel = svm.Model
+	// BenignConfig configures the synthetic benign workload generator.
+	BenignConfig = trace.BenignConfig
+	// MemAccess is one element of a domain-attributed memory trace.
+	MemAccess = trace.Access
+)
+
+// NewMissBased returns a victim-miss detector.
+func NewMissBased() *MissBased { return detect.NewMissBased() }
+
+// NewCCHunter returns an autocorrelation detector with the paper's
+// defaults (P=30, threshold 0.75).
+func NewCCHunter() *CCHunter { return detect.NewCCHunter() }
+
+// TrainCyclone fits the SVM detector on labelled traces and reports the
+// 5-fold cross-validation accuracy.
+func TrainCyclone(cfg detect.TrainCycloneConfig) (*Cyclone, float64, error) {
+	return detect.TrainCyclone(cfg)
+}
+
+// BenignSuite generates n synthetic benign traces (the SPEC2017 stand-in).
+func BenignSuite(n int, cfg BenignConfig) [][]MemAccess { return trace.BenignSuite(n, cfg) }
+
+// Scripted baselines (internal/agents).
+type (
+	// ScriptedAgent is a hand-written attack policy.
+	ScriptedAgent = agents.Agent
+	// PrimeProbeAgent is the textbook prime+probe loop.
+	PrimeProbeAgent = agents.PrimeProbe
+	// FlushReloadAgent is the textbook flush+reload loop.
+	FlushReloadAgent = agents.FlushReload
+)
+
+// NewPrimeProbe builds the textbook prime+probe agent.
+func NewPrimeProbe(numSets int) *PrimeProbeAgent { return agents.NewPrimeProbe(numSets) }
+
+// NewFlushReload builds the textbook flush+reload agent.
+func NewFlushReload() *FlushReloadAgent { return agents.NewFlushReload() }
+
+// RunScripted plays n episodes of a scripted agent.
+func RunScripted(e *Env, a ScriptedAgent, n int) agents.Result { return agents.Run(e, a, n) }
+
+// Black-box hardware surface (internal/hw).
+type (
+	// MachineSpec describes one black-box cache level (Table III).
+	MachineSpec = hw.Spec
+	// BlackBox is a simulated black-box machine implementing Target.
+	BlackBox = hw.BlackBox
+)
+
+// NewBlackBox builds a simulated black-box cache level.
+func NewBlackBox(spec MachineSpec, seed int64) (*BlackBox, error) { return hw.NewBlackBox(spec, seed) }
+
+// Table3Specs returns the simulated machine rows of Table III.
+func Table3Specs() []MachineSpec { return hw.Table3Specs() }
+
+// Covert channel surface (internal/covert).
+type (
+	// CovertChannel transmits symbols through one cache set.
+	CovertChannel = covert.Channel
+	// ChannelConfig sizes an LRU-state channel.
+	ChannelConfig = covert.ChannelConfig
+	// CovertMachine models one Table X processor.
+	CovertMachine = covert.Machine
+	// Transmission summarizes one bit-string transfer.
+	Transmission = covert.Transmission
+)
+
+// NewStealthyStreamline builds the StealthyStreamline channel (Figure 4c).
+func NewStealthyStreamline(cfg ChannelConfig) (CovertChannel, error) {
+	return covert.NewStealthyStreamline(cfg)
+}
+
+// NewLRUAddrChannel builds the LRU address-based baseline channel.
+func NewLRUAddrChannel(cfg ChannelConfig) (CovertChannel, error) {
+	return covert.NewLRUAddrChannel(cfg)
+}
+
+// CovertMachines returns the Table X machine catalogue.
+func CovertMachines() []CovertMachine { return covert.Machines() }
+
+// StealthyStateTrace renders the cache-state evolution of one
+// StealthyStreamline round (the paper's Figure 4d walk-through).
+func StealthyStateTrace(cfg ChannelConfig, symbol int) ([]string, error) {
+	ch, err := covert.NewStealthyStreamline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ch.StateTrace(symbol), nil
+}
+
+// MeasureCovert transmits random bit strings on a machine model and
+// reports bit rate and error rate (Table X).
+func MeasureCovert(m CovertMachine, stealthy bool, symbolBits, nbits, repeats int, seed int64) (Transmission, error) {
+	return covert.MeasureOnMachine(m, stealthy, symbolBits, nbits, repeats, seed)
+}
+
+// Analysis and search surfaces.
+type (
+	// AttackCategory labels a sequence with the Table I taxonomy.
+	AttackCategory = analysis.Category
+	// SearchResult summarizes a brute-force / random search run.
+	SearchResult = search.Result
+)
+
+// Classify assigns an attack category to a replayed sequence.
+func Classify(e *Env, actions []int) AttackCategory { return analysis.Classify(e, actions) }
+
+// RandomSearch samples random prefixes until one distinguishes every
+// secret (the §VI-A baseline).
+func RandomSearch(e *Env, length, budget int, seed int64) SearchResult {
+	return search.RandomSearch(e, length, budget, seed)
+}
+
+// ExpectedSearchTrials returns M = 2(N+1)^(2N+1)/(N!)², the paper's
+// random-search cost estimate for an N-way prime+probe.
+func ExpectedSearchTrials(n int) float64 { return search.ExpectedTrials(n) }

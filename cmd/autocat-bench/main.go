@@ -1,0 +1,79 @@
+// Command autocat-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	autocat-bench -all                      run everything at full scale
+//	autocat-bench -table 5 -runs 3          one table, three training runs
+//	autocat-bench -figure 4                 one figure
+//	autocat-bench -all -scale 0.5           reduced training budgets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autocat/internal/exp"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number to regenerate (3-10)")
+	figure := flag.Int("figure", 0, "figure number to regenerate (3-5)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	scale := flag.Float64("scale", 1.0, "training budget scale (1.0 = full)")
+	runs := flag.Int("runs", 1, "training replicates for averaged tables")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	o := exp.Options{W: os.Stdout, Scale: *scale, Runs: *runs, Seed: *seed}
+	run := func(name string, f func(exp.Options)) {
+		fmt.Printf("==== %s ====\n", name)
+		f(o)
+		fmt.Println()
+	}
+
+	if *all {
+		run("Table III", exp.TableIII)
+		run("Table IV", exp.TableIV)
+		run("Table V", exp.TableV)
+		run("Table VI", exp.TableVI)
+		run("Table VII", exp.TableVII)
+		run("Table VIII (+ Figure 3)", exp.TableVIII)
+		run("Table IX", exp.TableIX)
+		run("Table X", exp.TableX)
+		run("Figure 4", exp.Figure4)
+		run("Figure 5", exp.Figure5)
+		run("Search vs RL (§VI-A)", exp.SearchVsRL)
+		return
+	}
+	switch *table {
+	case 3:
+		run("Table III", exp.TableIII)
+	case 4:
+		run("Table IV", exp.TableIV)
+	case 5:
+		run("Table V", exp.TableV)
+	case 6:
+		run("Table VI", exp.TableVI)
+	case 7:
+		run("Table VII", exp.TableVII)
+	case 8:
+		run("Table VIII (+ Figure 3)", exp.TableVIII)
+	case 9:
+		run("Table IX", exp.TableIX)
+	case 10:
+		run("Table X", exp.TableX)
+	}
+	switch *figure {
+	case 3:
+		run("Figure 3", exp.Figure3)
+	case 4:
+		run("Figure 4", exp.Figure4)
+	case 5:
+		run("Figure 5", exp.Figure5)
+	}
+	if *table == 0 && *figure == 0 {
+		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, or -figure N")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,135 @@
+// Command autocat is the CLI front end of the AutoCAT reproduction: it
+// explores attacks on a configurable cache, measures the covert channels,
+// and runs the random-search baseline.
+//
+// Usage:
+//
+//	autocat explore  [flags]   train an agent and print the found attack
+//	autocat covert   [flags]   measure the Table X covert channels
+//	autocat search   [flags]   run the §VI-A random-search baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autocat"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "explore":
+		explore(os.Args[2:])
+	case "covert":
+		covertCmd(os.Args[2:])
+	case "search":
+		searchCmd(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: autocat <explore|covert|search> [flags]")
+}
+
+func explore(args []string) {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	blocks := fs.Int("blocks", 4, "cache blocks")
+	ways := fs.Int("ways", 4, "cache ways")
+	policy := fs.String("policy", "lru", "replacement policy: lru|plru|rrip|random")
+	attLo := fs.Int("attacker-lo", 0, "attacker address range start")
+	attHi := fs.Int("attacker-hi", 3, "attacker address range end")
+	vicLo := fs.Int("victim-lo", 0, "victim address range start")
+	vicHi := fs.Int("victim-hi", 0, "victim address range end")
+	flush := fs.Bool("flush", true, "enable the flush instruction")
+	noAccess := fs.Bool("no-access", true, "victim may make no access (0/E secrets)")
+	window := fs.Int("window", 0, "observation window (0 = auto)")
+	epochs := fs.Int("epochs", 100, "training epoch budget (3000 steps each)")
+	seed := fs.Int64("seed", 1, "random seed")
+	backbone := fs.String("backbone", "mlp", "policy backbone: mlp|transformer")
+	fs.Parse(args)
+
+	res, err := autocat.Explore(autocat.ExploreConfig{
+		Env: autocat.EnvConfig{
+			Cache: autocat.CacheConfig{
+				NumBlocks: *blocks, NumWays: *ways,
+				Policy: autocat.PolicyKind(*policy),
+			},
+			AttackerLo: autocat.Addr(*attLo), AttackerHi: autocat.Addr(*attHi),
+			VictimLo: autocat.Addr(*vicLo), VictimHi: autocat.Addr(*vicHi),
+			FlushEnable:    *flush,
+			VictimNoAccess: *noAccess,
+			WindowSize:     *window,
+			Seed:           *seed,
+		},
+		Backbone: autocat.Backbone(*backbone),
+		PPO: autocat.PPOConfig{
+			MaxEpochs:       *epochs,
+			EntAnnealEpochs: *epochs / 2,
+			ExploreEps:      0.35,
+			Seed:            *seed,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autocat:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("converged:       %v (epoch %d of %d)\n", res.Train.Converged, res.Train.EpochsToConverge, res.Train.Epochs)
+	fmt.Printf("greedy accuracy: %.3f\n", res.Eval.Accuracy)
+	fmt.Printf("episode length:  %.1f\n", res.Eval.MeanLength)
+	fmt.Printf("attack:          %s\n", res.Sequence)
+	fmt.Printf("category:        %s\n", res.Category)
+}
+
+func covertCmd(args []string) {
+	fs := flag.NewFlagSet("covert", flag.ExitOnError)
+	bits := fs.Int("nbits", 2048, "bits per transmission")
+	repeats := fs.Int("repeats", 10, "transmissions per machine")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	for _, m := range autocat.CovertMachines() {
+		lru, err := autocat.MeasureCovert(m, false, 2, *bits, *repeats, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autocat:", err)
+			os.Exit(1)
+		}
+		ss, err := autocat.MeasureCovert(m, true, 2, *bits, *repeats, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autocat:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-20s LRU %.1f Mbps (err %.2f%%)  SS %.1f Mbps (err %.2f%%)  improvement %.0f%%\n",
+			m.Name, lru.BitRateMbps, lru.ErrorRate*100, ss.BitRateMbps, ss.ErrorRate*100,
+			(ss.BitRateMbps/lru.BitRateMbps-1)*100)
+	}
+}
+
+func searchCmd(args []string) {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	length := fs.Int("length", 3, "candidate prefix length")
+	budget := fs.Int("budget", 100000, "sequence budget")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	e := autocat.MustEnv(autocat.EnvConfig{
+		Cache:      autocat.CacheConfig{NumBlocks: 1, NumWays: 1},
+		AttackerLo: 1, AttackerHi: 1,
+		VictimLo: 0, VictimHi: 0,
+		VictimNoAccess: true,
+		WindowSize:     8,
+		Warmup:         -1,
+		Seed:           *seed,
+	})
+	res := autocat.RandomSearch(e, *length, *budget, *seed)
+	fmt.Printf("found=%v sequences=%d steps=%d\n", res.Found, res.Sequences, res.Steps)
+	for n := 2; n <= 16; n *= 2 {
+		fmt.Printf("expected random-search sequences for %2d-way prime+probe: %.3g\n",
+			n, autocat.ExpectedSearchTrials(n))
+	}
+}

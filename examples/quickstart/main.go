@@ -1,0 +1,51 @@
+// Quickstart: train an AutoCAT agent on the smallest guessing game — a
+// single-line cache where the victim either accesses address 0 (evicting
+// the attacker's conflicting line) or stays idle — and print the attack
+// the agent discovers. The expected result is the minimal prime+probe:
+//
+//	1 → v → 1 → g    (prime, trigger victim, probe, conditional guess)
+//
+// Larger configurations (flush+reload, LRU-state attacks, black-box
+// machines) are explored by the other examples and `autocat explore`.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autocat"
+)
+
+func main() {
+	fmt.Println("AutoCAT quickstart: exploring a 1-line cache (1-bit secret)")
+	fmt.Println("(attacker owns addr 1; victim accesses addr 0 or nothing)")
+
+	res, err := autocat.Explore(autocat.ExploreConfig{
+		Env: autocat.EnvConfig{
+			Cache:      autocat.CacheConfig{NumBlocks: 1, NumWays: 1},
+			AttackerLo: 1, AttackerHi: 1,
+			VictimLo: 0, VictimHi: 0,
+			VictimNoAccess: true,
+			WindowSize:     6,
+			Warmup:         -1,
+			Seed:           7,
+		},
+		Hidden: []int{32, 32},
+		PPO: autocat.PPOConfig{
+			StepsPerEpoch: 2048,
+			MaxEpochs:     60,
+			Seed:          7,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nconverged:        %v (epoch %d, %d epochs run)\n",
+		res.Train.Converged, res.Train.EpochsToConverge, res.Train.Epochs)
+	fmt.Printf("greedy accuracy:  %.3f over %d episodes\n", res.Eval.Accuracy, res.Eval.Episodes)
+	fmt.Printf("episode length:   %.1f steps\n", res.Eval.MeanLength)
+	fmt.Printf("attack sequence:  %s\n", res.Sequence)
+	fmt.Printf("category:         %s\n", res.Category)
+	fmt.Printf("policy params:    %d\n", res.NumParams)
+}

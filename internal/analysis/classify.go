@@ -1,0 +1,127 @@
+// Package analysis implements the attack-sequence classification the
+// paper performs by hand ("we manually analyzed the attack sequences to
+// categorize them", §IV-D; automating it is listed as future work — this
+// heuristic classifier is that extension).
+package analysis
+
+import (
+	"autocat/internal/env"
+)
+
+// Category labels an attack sequence with the taxonomy of Tables I and IV.
+type Category string
+
+// Attack categories.
+const (
+	FlushReload  Category = "flush+reload"
+	EvictReload  Category = "evict+reload"
+	PrimeProbe   Category = "prime+probe"
+	LRUState     Category = "lru-state"
+	MixedERPP    Category = "evict+reload & prime+probe"
+	Unclassified Category = "unclassified"
+)
+
+// Classify inspects a replayed attack sequence against its environment
+// configuration and assigns a category:
+//
+//   - flush+reload: a line is flushed and a victim-shared address is
+//     reloaded after the victim runs;
+//   - evict+reload: no flush, the pre-trigger accesses can fill the
+//     victim's set, and a victim-shared address is reloaded;
+//   - prime+probe: the post-trigger probes revisit attacker-private
+//     addresses primed before the trigger;
+//   - lru-state: the decision comes from replacement metadata — fewer
+//     distinct primes than ways, or probing a fresh address whose
+//     hit/miss depends on the LRU state;
+//   - the ER+PP mix of Table IV config 4 when both signals appear.
+func Classify(e *env.Env, actions []int) Category {
+	cfg := e.Config()
+	ways := cfg.Cache.NumWays
+	if ways == 0 {
+		ways = 1
+	}
+
+	victimSeen := false
+	flushed := map[int64]bool{}
+	pre := map[int64]bool{}
+	var preDistinct int
+
+	usedFlushReload := false
+	reloadShared := false
+	probePrimed := false
+	probeFresh := false
+
+	inVictimRange := func(a int64) bool {
+		return a >= int64(cfg.VictimLo) && a <= int64(cfg.VictimHi)
+	}
+
+	anyGuess := false
+	for _, act := range actions {
+		kind, addr := e.DecodeAction(act)
+		a := int64(addr)
+		switch kind {
+		case env.KindFlush:
+			flushed[a] = true
+		case env.KindVictim:
+			victimSeen = true
+		case env.KindGuess, env.KindGuessNone:
+			anyGuess = true
+		case env.KindAccess:
+			if !victimSeen {
+				if !pre[a] {
+					pre[a] = true
+					preDistinct++
+				}
+				continue
+			}
+			switch {
+			case flushed[a] && inVictimRange(a):
+				usedFlushReload = true
+			case inVictimRange(a):
+				reloadShared = true
+			case pre[a]:
+				probePrimed = true
+			default:
+				probeFresh = true
+			}
+		}
+	}
+	if !victimSeen || !anyGuess {
+		return Unclassified
+	}
+
+	if ways == 1 {
+		// Direct-mapped caches have no replacement state to leak:
+		// presence is the only signal.
+		switch {
+		case usedFlushReload:
+			return FlushReload
+		case reloadShared && probePrimed:
+			return MixedERPP
+		case reloadShared:
+			return EvictReload
+		case probePrimed || probeFresh:
+			return PrimeProbe
+		default:
+			return Unclassified
+		}
+	}
+	switch {
+	case usedFlushReload:
+		return FlushReload
+	case reloadShared && probePrimed:
+		return MixedERPP
+	case reloadShared && preDistinct >= ways:
+		return EvictReload
+	case reloadShared || probeFresh:
+		return LRUState
+	case probePrimed && preDistinct < ways:
+		// Partial fill of an associative set: the signal must come from
+		// replacement state rather than pure presence.
+		return LRUState
+	case probePrimed:
+		return PrimeProbe
+	default:
+		return Unclassified
+	}
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"testing"
+
+	"autocat/internal/cache"
+	"autocat/internal/env"
+)
+
+func mkEnv(t *testing.T, cfg env.Config) *env.Env {
+	t.Helper()
+	e, err := env.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Reset()
+	return e
+}
+
+func TestClassifyPrimeProbe(t *testing.T) {
+	// Table IV config 1: DM 4 sets, victim 0-3, attacker 4-7.
+	e := mkEnv(t, env.Config{
+		Cache:      cache.Config{NumBlocks: 4, NumWays: 1},
+		AttackerLo: 4, AttackerHi: 7,
+		VictimLo: 0, VictimHi: 3,
+		WindowSize: 20, Seed: 1,
+	})
+	// The paper's found attack: 7→4→5→v→7→5→4→g.
+	acts := []int{
+		e.AccessAction(7), e.AccessAction(4), e.AccessAction(5),
+		e.VictimAction(),
+		e.AccessAction(7), e.AccessAction(5), e.AccessAction(4),
+		e.GuessAction(0),
+	}
+	if got := Classify(e, acts); got != PrimeProbe {
+		t.Fatalf("classified %v, want prime+probe", got)
+	}
+}
+
+func TestClassifyFlushReload(t *testing.T) {
+	// Table IV config 3: DM 4 sets, shared space 0-3, flush enabled.
+	e := mkEnv(t, env.Config{
+		Cache:      cache.Config{NumBlocks: 4, NumWays: 1},
+		AttackerLo: 0, AttackerHi: 3,
+		VictimLo: 0, VictimHi: 3,
+		FlushEnable: true,
+		WindowSize:  20, Seed: 2,
+	})
+	// f0→f3→f2→v→2→3→0→g.
+	acts := []int{
+		e.FlushAction(0), e.FlushAction(3), e.FlushAction(2),
+		e.VictimAction(),
+		e.AccessAction(2), e.AccessAction(3), e.AccessAction(0),
+		e.GuessAction(1),
+	}
+	if got := Classify(e, acts); got != FlushReload {
+		t.Fatalf("classified %v, want flush+reload", got)
+	}
+}
+
+func TestClassifyEvictReload(t *testing.T) {
+	// Table IV config 12: FA 8-way, victim 0/E, attacker 0-15, no flush.
+	e := mkEnv(t, env.Config{
+		Cache:      cache.Config{NumBlocks: 8, NumWays: 8},
+		AttackerLo: 0, AttackerHi: 15,
+		VictimLo: 0, VictimHi: 0,
+		VictimNoAccess: true,
+		WindowSize:     40, Seed: 3,
+	})
+	// 1→13→14→15→5→9→11→6→v→0→g: 8 distinct primes fill the set, then
+	// the shared address 0 is reloaded.
+	acts := []int{
+		e.AccessAction(1), e.AccessAction(13), e.AccessAction(14), e.AccessAction(15),
+		e.AccessAction(5), e.AccessAction(9), e.AccessAction(11), e.AccessAction(6),
+		e.VictimAction(),
+		e.AccessAction(0),
+		e.GuessNoneAction(),
+	}
+	if got := Classify(e, acts); got != EvictReload {
+		t.Fatalf("classified %v, want evict+reload", got)
+	}
+}
+
+func TestClassifyLRUState(t *testing.T) {
+	// Table IV config 5: FA 4-way, victim 0/E, attacker 4-7: the found
+	// attack 4→5→7→v→6→4→g fills only 3 of 4 ways and probes the fresh
+	// address 6 — an LRU-state attack.
+	e := mkEnv(t, env.Config{
+		Cache:      cache.Config{NumBlocks: 4, NumWays: 4},
+		AttackerLo: 4, AttackerHi: 7,
+		VictimLo: 0, VictimHi: 0,
+		VictimNoAccess: true,
+		WindowSize:     20, Seed: 4,
+	})
+	acts := []int{
+		e.AccessAction(4), e.AccessAction(5), e.AccessAction(7),
+		e.VictimAction(),
+		e.AccessAction(6), e.AccessAction(4),
+		e.GuessNoneAction(),
+	}
+	if got := Classify(e, acts); got != LRUState {
+		t.Fatalf("classified %v, want lru-state", got)
+	}
+}
+
+func TestClassifyMixed(t *testing.T) {
+	// Table IV config 4: DM 4 sets, victim 0-3, attacker 0-7: the found
+	// attack 6→5→7→v→7→6→1→g reloads shared address 1 AND probes primed
+	// private addresses.
+	e := mkEnv(t, env.Config{
+		Cache:      cache.Config{NumBlocks: 4, NumWays: 1},
+		AttackerLo: 0, AttackerHi: 7,
+		VictimLo: 0, VictimHi: 3,
+		WindowSize: 20, Seed: 5,
+	})
+	acts := []int{
+		e.AccessAction(6), e.AccessAction(5), e.AccessAction(7),
+		e.VictimAction(),
+		e.AccessAction(7), e.AccessAction(6), e.AccessAction(1),
+		e.GuessAction(2),
+	}
+	if got := Classify(e, acts); got != MixedERPP {
+		t.Fatalf("classified %v, want mixed", got)
+	}
+}
+
+func TestClassifyUnclassified(t *testing.T) {
+	e := mkEnv(t, env.Config{
+		Cache:      cache.Config{NumBlocks: 4, NumWays: 1},
+		AttackerLo: 4, AttackerHi: 7,
+		VictimLo: 0, VictimHi: 3,
+		WindowSize: 20, Seed: 6,
+	})
+	// No victim trigger.
+	acts := []int{e.AccessAction(4), e.GuessAction(0)}
+	if got := Classify(e, acts); got != Unclassified {
+		t.Fatalf("classified %v, want unclassified", got)
+	}
+	// No guess.
+	acts = []int{e.AccessAction(4), e.VictimAction(), e.AccessAction(4)}
+	if got := Classify(e, acts); got != Unclassified {
+		t.Fatalf("classified %v, want unclassified", got)
+	}
+}

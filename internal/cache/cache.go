@@ -1,0 +1,328 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Addr is a cache-line-granular address, a small integer exactly as in the
+// paper's attack traces (e.g. "7→ 4→ 5→ v→ 7→ 5→ 4→ g").
+type Addr int
+
+// Eviction records one line being displaced by a fill, attributed to the
+// domains involved. Detectors consume these to build conflict-miss event
+// trains (CC-Hunter encodes victim-evicts-attacker as 0 and
+// attacker-evicts-victim as 1).
+type Eviction struct {
+	Set           int
+	EvictedAddr   Addr
+	EvictedDomain Domain
+	ByDomain      Domain
+}
+
+// Result describes the outcome of one access: whether it hit, the cycle
+// latency charged, any evictions performed (demand fill plus prefetch
+// fills), and the addresses the prefetcher pulled in.
+type Result struct {
+	Hit        bool
+	Latency    int
+	Evictions  []Eviction
+	Prefetched []Addr
+}
+
+// line is one cache line: a tag (the full address at line granularity), the
+// owning domain, and a PL-cache lock bit.
+type line struct {
+	valid  bool
+	addr   Addr
+	domain Domain
+	locked bool
+}
+
+// set is one associative set with its replacement policy.
+type set struct {
+	lines  []line
+	policy Policy
+}
+
+// Cache is a single-level cache simulator. It is not safe for concurrent
+// use; every RL environment owns its own Cache.
+type Cache struct {
+	cfg      Config
+	sets     []set
+	rng      *rand.Rand
+	mapping  []int // address permutation when cfg.RandomMapping, else nil
+	prefetch prefetcher
+}
+
+// New builds a cache from cfg. It panics if cfg is invalid; use
+// cfg.Validate first when handling untrusted configuration.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg = cfg.withDefaults()
+	c := &Cache{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed + 0x5eed)),
+	}
+	c.sets = make([]set, cfg.NumSets())
+	for i := range c.sets {
+		c.sets[i] = set{
+			lines:  make([]line, cfg.NumWays),
+			policy: newPolicy(cfg.Policy, cfg.NumWays, c.rng),
+		}
+	}
+	if cfg.RandomMapping {
+		// Fixed random permutation over a generous address window; the
+		// mapping is stable for the lifetime of the cache (§V-B "fixed
+		// random address-to-set mapping").
+		n := cfg.AddrSpace
+		if n == 0 {
+			n = 4 * cfg.NumBlocks
+		}
+		c.mapping = rand.New(rand.NewSource(cfg.Seed + 0x3ab)).Perm(n)
+	}
+	c.prefetch = newPrefetcher(cfg.Prefetcher, cfg.AddrSpace)
+	return c
+}
+
+// Config returns the configuration the cache was built with (with defaults
+// applied).
+func (c *Cache) Config() Config { return c.cfg }
+
+// setIndex maps an address to its set, applying the optional fixed random
+// permutation first.
+func (c *Cache) setIndex(a Addr) int {
+	x := int(a)
+	if c.mapping != nil {
+		if x >= 0 && x < len(c.mapping) {
+			x = c.mapping[x]
+		}
+	}
+	n := len(c.sets)
+	return ((x % n) + n) % n
+}
+
+// lookup returns the way holding addr in its set, or -1.
+func (c *Cache) lookup(s *set, a Addr) int {
+	for w := range s.lines {
+		if s.lines[w].valid && s.lines[w].addr == a {
+			return w
+		}
+	}
+	return -1
+}
+
+// Access performs a demand access to addr by dom, updating replacement
+// state and running the prefetcher. It returns the hit/miss outcome, the
+// charged latency, and all evictions caused (including prefetch fills).
+func (c *Cache) Access(a Addr, dom Domain) Result {
+	res := c.demand(a, dom)
+	for _, pa := range c.prefetch.after(a) {
+		if pa == a {
+			continue
+		}
+		pres := c.fillOnly(pa, dom)
+		res.Evictions = append(res.Evictions, pres.Evictions...)
+		res.Prefetched = append(res.Prefetched, pa)
+	}
+	return res
+}
+
+// demand performs the access itself without prefetching.
+func (c *Cache) demand(a Addr, dom Domain) Result {
+	si := c.setIndex(a)
+	s := &c.sets[si]
+	if w := c.lookup(s, a); w >= 0 {
+		s.policy.OnHit(w)
+		return Result{Hit: true, Latency: c.cfg.HitLatency}
+	}
+	res := Result{Hit: false, Latency: c.cfg.MissLatency}
+	if ev, ok := c.install(si, a, dom); ok && evValid(ev) {
+		res.Evictions = append(res.Evictions, ev)
+	}
+	return res
+}
+
+// evValid reports whether an eviction record corresponds to a real line
+// displacement (install may fill an invalid way, which displaces nothing).
+func evValid(ev Eviction) bool { return ev.EvictedAddr != -1 }
+
+// fillOnly installs addr as a prefetch: a hit refreshes nothing (hardware
+// prefetchers do not promote on hit in this model), a miss fills the line.
+func (c *Cache) fillOnly(a Addr, dom Domain) Result {
+	si := c.setIndex(a)
+	s := &c.sets[si]
+	if c.lookup(s, a) >= 0 {
+		return Result{Hit: true}
+	}
+	res := Result{Hit: false}
+	if ev, ok := c.install(si, a, dom); ok && evValid(ev) {
+		res.Evictions = append(res.Evictions, ev)
+	}
+	return res
+}
+
+// install places addr into set si, evicting if needed. It returns the
+// eviction record (EvictedAddr == -1 when an invalid way was filled) and
+// whether the fill happened at all (false when every way is locked).
+func (c *Cache) install(si int, a Addr, dom Domain) (Eviction, bool) {
+	s := &c.sets[si]
+	// Prefer an invalid way.
+	for w := range s.lines {
+		if !s.lines[w].valid {
+			s.lines[w] = line{valid: true, addr: a, domain: dom}
+			s.policy.OnFill(w)
+			return Eviction{Set: si, EvictedAddr: -1}, true
+		}
+	}
+	eligible := make([]bool, len(s.lines))
+	any := false
+	for w := range s.lines {
+		eligible[w] = !s.lines[w].locked
+		any = any || eligible[w]
+	}
+	if !any {
+		// Fully locked set (PL cache): the access bypasses the cache.
+		return Eviction{}, false
+	}
+	w := s.policy.Victim(eligible)
+	ev := Eviction{
+		Set:           si,
+		EvictedAddr:   s.lines[w].addr,
+		EvictedDomain: s.lines[w].domain,
+		ByDomain:      dom,
+	}
+	s.lines[w] = line{valid: true, addr: a, domain: dom}
+	s.policy.OnFill(w)
+	return ev, true
+}
+
+// Flush removes addr from the cache if present (clflush). It reports
+// whether the line was resident. Flushing ignores lock bits, matching
+// clflush semantics on x86 (locked lines in the PL-cache threat model are
+// only protected from the attacker's *eviction*, and the environment
+// never exposes flush in PL-cache experiments).
+func (c *Cache) Flush(a Addr) bool {
+	si := c.setIndex(a)
+	s := &c.sets[si]
+	w := c.lookup(s, a)
+	if w < 0 {
+		return false
+	}
+	s.lines[w] = line{}
+	return true
+}
+
+// Lock pins addr in the cache (PL cache [72]). If the line is absent it is
+// first installed for dom. A locked line is never chosen as an eviction
+// victim.
+func (c *Cache) Lock(a Addr, dom Domain) {
+	si := c.setIndex(a)
+	s := &c.sets[si]
+	w := c.lookup(s, a)
+	if w < 0 {
+		c.install(si, a, dom)
+		w = c.lookup(s, a)
+		if w < 0 {
+			return // set fully locked; nothing to pin
+		}
+	}
+	s.lines[w].locked = true
+}
+
+// Unlock clears the lock bit of addr if it is resident.
+func (c *Cache) Unlock(a Addr) {
+	si := c.setIndex(a)
+	s := &c.sets[si]
+	if w := c.lookup(s, a); w >= 0 {
+		s.lines[w].locked = false
+	}
+}
+
+// Contains reports whether addr is resident, without touching replacement
+// state (a "tag probe" used by tests and the attack classifier).
+func (c *Cache) Contains(a Addr) bool {
+	si := c.setIndex(a)
+	return c.lookup(&c.sets[si], a) >= 0
+}
+
+// SetOf returns the set index addr maps to.
+func (c *Cache) SetOf(a Addr) int { return c.setIndex(a) }
+
+// LineView is a read-only snapshot of one way for inspection and diagrams.
+type LineView struct {
+	Valid  bool
+	Addr   Addr
+	Domain Domain
+	Locked bool
+}
+
+// SetState snapshots the lines of one set in way order.
+func (c *Cache) SetState(si int) []LineView {
+	s := &c.sets[si]
+	out := make([]LineView, len(s.lines))
+	for w, ln := range s.lines {
+		out[w] = LineView{Valid: ln.valid, Addr: ln.addr, Domain: ln.domain, Locked: ln.locked}
+	}
+	return out
+}
+
+// PolicyState exposes the replacement metadata of one set (LRU ages, PLRU
+// bits, RRPVs), as drawn in the paper's Figure 4(d).
+func (c *Cache) PolicyState(si int) []int { return c.sets[si].policy.State() }
+
+// Reset invalidates every line, clears lock bits, resets replacement state
+// and the prefetcher. The random policy's RNG stream is NOT reset, so
+// consecutive episodes see fresh randomness (a new seed requires a new
+// cache).
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		s := &c.sets[i]
+		for w := range s.lines {
+			s.lines[w] = line{}
+		}
+		s.policy.Reset()
+	}
+	c.prefetch.reset()
+}
+
+// ResidentAddrs lists all resident addresses in ascending order, a
+// convenience for tests and invariant checks.
+func (c *Cache) ResidentAddrs() []Addr {
+	var out []Addr
+	for i := range c.sets {
+		for _, ln := range c.sets[i].lines {
+			if ln.valid {
+				out = append(out, ln.addr)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders a compact dump of the cache contents for debugging:
+// one row per set, "addr(domain initial, lock flag)" per way.
+func (c *Cache) String() string {
+	var b strings.Builder
+	for i := range c.sets {
+		fmt.Fprintf(&b, "set %d:", i)
+		for _, ln := range c.sets[i].lines {
+			if !ln.valid {
+				b.WriteString(" [--]")
+				continue
+			}
+			lock := ""
+			if ln.locked {
+				lock = "*"
+			}
+			fmt.Fprintf(&b, " [%d%c%s]", ln.addr, ln.domain.String()[0], lock)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

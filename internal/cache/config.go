@@ -1,0 +1,140 @@
+// Package cache implements the software cache simulator that serves as the
+// AutoCAT environment substrate: single-level direct-mapped,
+// set-associative, and fully-associative caches with LRU, tree-PLRU, RRIP,
+// and random replacement; next-line and stream prefetchers; partition-locked
+// (PL) cache line locking; a fixed random address-to-set mapping; cache-line
+// flush; and an inclusive two-level hierarchy.
+//
+// Addresses are cache-line granular small integers, exactly as in the
+// paper's Table II and Table IV configurations ("the attack and victim
+// programs directly use physical addresses for their accesses").
+package cache
+
+import "fmt"
+
+// PolicyKind names a replacement policy implemented by the simulator.
+type PolicyKind string
+
+// Replacement policies available in Config.Policy.
+const (
+	LRU    PolicyKind = "lru"
+	PLRU   PolicyKind = "plru"
+	RRIP   PolicyKind = "rrip"
+	Random PolicyKind = "random"
+)
+
+// PrefetcherKind names a hardware prefetcher model.
+type PrefetcherKind string
+
+// Prefetcher models available in Config.Prefetcher.
+const (
+	NoPrefetch     PrefetcherKind = "none"
+	NextLine       PrefetcherKind = "nextline"
+	StreamPrefetch PrefetcherKind = "stream"
+)
+
+// Domain identifies which security domain issued an access. Detectors use
+// it to attribute conflict misses (CC-Hunter) and cyclic interference
+// (Cyclone).
+type Domain int
+
+// The two security domains of the guessing game.
+const (
+	DomainNone     Domain = 0 // prefetcher fills, warm-up, unattributed
+	DomainAttacker Domain = 1
+	DomainVictim   Domain = 2
+)
+
+func (d Domain) String() string {
+	switch d {
+	case DomainAttacker:
+		return "attacker"
+	case DomainVictim:
+		return "victim"
+	default:
+		return "none"
+	}
+}
+
+// Config describes a single-level cache, mirroring the simulator options in
+// the paper's Table II.
+type Config struct {
+	// NumBlocks is the total number of cache lines (num_blocks).
+	NumBlocks int
+	// NumWays is the associativity (num_ways). NumWays == 1 is a
+	// direct-mapped cache; NumWays == NumBlocks is fully associative.
+	NumWays int
+	// Policy selects the replacement policy (rep_policy).
+	Policy PolicyKind
+	// Prefetcher optionally enables a prefetcher model.
+	Prefetcher PrefetcherKind
+	// AddrSpace is the size of the address space used for next-line
+	// prefetch wrap-around (address a prefetches (a+1) mod AddrSpace, so
+	// that the paper's "7(p0)" traces reproduce). Zero disables wrapping.
+	AddrSpace int
+	// RandomMapping applies a fixed random permutation to addresses before
+	// set indexing (the "fixed random address-to-set mapping" studied in
+	// §V-B). The permutation is derived from Seed.
+	RandomMapping bool
+	// Seed drives the random replacement policy and the random mapping.
+	Seed int64
+	// HitLatency and MissLatency are the cycle costs reported by Access,
+	// used by the covert-channel timing model. Zero values default to 4
+	// and 100 cycles.
+	HitLatency  int
+	MissLatency int
+}
+
+// Validate checks structural invariants and returns a descriptive error for
+// the first violation found.
+func (c Config) Validate() error {
+	if c.NumBlocks <= 0 {
+		return fmt.Errorf("cache: NumBlocks must be positive, got %d", c.NumBlocks)
+	}
+	if c.NumWays <= 0 {
+		return fmt.Errorf("cache: NumWays must be positive, got %d", c.NumWays)
+	}
+	if c.NumBlocks%c.NumWays != 0 {
+		return fmt.Errorf("cache: NumBlocks (%d) must be a multiple of NumWays (%d)", c.NumBlocks, c.NumWays)
+	}
+	switch c.Policy {
+	case "", LRU, PLRU, RRIP, Random:
+	default:
+		return fmt.Errorf("cache: unknown replacement policy %q", c.Policy)
+	}
+	switch c.Prefetcher {
+	case "", NoPrefetch, NextLine, StreamPrefetch:
+	default:
+		return fmt.Errorf("cache: unknown prefetcher %q", c.Prefetcher)
+	}
+	if c.Policy == PLRU {
+		w := c.NumWays
+		for w > 1 {
+			if w%2 != 0 {
+				return fmt.Errorf("cache: tree-PLRU requires a power-of-two way count, got %d", c.NumWays)
+			}
+			w /= 2
+		}
+	}
+	return nil
+}
+
+// withDefaults returns the config with zero fields replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.Policy == "" {
+		c.Policy = LRU
+	}
+	if c.Prefetcher == "" {
+		c.Prefetcher = NoPrefetch
+	}
+	if c.HitLatency == 0 {
+		c.HitLatency = 4
+	}
+	if c.MissLatency == 0 {
+		c.MissLatency = 100
+	}
+	return c
+}
+
+// NumSets returns the number of sets implied by the block and way counts.
+func (c Config) NumSets() int { return c.NumBlocks / c.NumWays }

@@ -1,0 +1,243 @@
+package cache
+
+import "math/rand"
+
+// Policy is the per-set replacement policy state machine. A set consults
+// its policy on every hit and fill and asks it for an eviction victim on a
+// conflict miss. Way indexes are 0-based positions within the set.
+type Policy interface {
+	// OnHit updates policy state after a hit in the given way.
+	OnHit(way int)
+	// OnFill updates policy state after a new line is installed in the
+	// given way.
+	OnFill(way int)
+	// Victim returns the way to evict when every candidate way is valid.
+	// The mask reports which ways are eligible (unlocked); at least one
+	// entry is true. Victim must return an eligible way.
+	Victim(eligible []bool) int
+	// Reset restores the power-on policy state.
+	Reset()
+	// State exposes the raw policy metadata (LRU ages, PLRU tree bits,
+	// RRPV counters) for diagrams such as the paper's Figure 4(d).
+	State() []int
+}
+
+// newPolicy constructs the policy named by kind for a set of the given
+// associativity. rng is used only by the random policy.
+func newPolicy(kind PolicyKind, ways int, rng *rand.Rand) Policy {
+	switch kind {
+	case PLRU:
+		return newTreePLRU(ways)
+	case RRIP:
+		return newRRIP(ways)
+	case Random:
+		return &randomPolicy{ways: ways, rng: rng}
+	default:
+		return newLRUPolicy(ways)
+	}
+}
+
+// lruPolicy implements true LRU. ages[w] is the recency rank of way w:
+// 0 is most recently used, ways-1 is least recently used. The ages always
+// form a permutation of 0..ways-1.
+type lruPolicy struct {
+	ages []int
+}
+
+func newLRUPolicy(ways int) *lruPolicy {
+	p := &lruPolicy{ages: make([]int, ways)}
+	p.Reset()
+	return p
+}
+
+func (p *lruPolicy) touch(way int) {
+	old := p.ages[way]
+	for w := range p.ages {
+		if p.ages[w] < old {
+			p.ages[w]++
+		}
+	}
+	p.ages[way] = 0
+}
+
+func (p *lruPolicy) OnHit(way int)  { p.touch(way) }
+func (p *lruPolicy) OnFill(way int) { p.touch(way) }
+
+func (p *lruPolicy) Victim(eligible []bool) int {
+	victim, worst := -1, -1
+	for w, age := range p.ages {
+		if eligible[w] && age > worst {
+			victim, worst = w, age
+		}
+	}
+	return victim
+}
+
+func (p *lruPolicy) Reset() {
+	for w := range p.ages {
+		p.ages[w] = len(p.ages) - 1 - w
+	}
+}
+
+func (p *lruPolicy) State() []int {
+	out := make([]int, len(p.ages))
+	copy(out, p.ages)
+	return out
+}
+
+// treePLRU implements tree-based pseudo-LRU: a binary tree of ways-1 bits.
+// Each internal node bit points toward the pseudo-least-recently-used half
+// (0 = left subtree is colder, 1 = right subtree is colder). On an access
+// the bits along the path are flipped to point away from the touched way.
+type treePLRU struct {
+	ways int
+	bits []int // ways-1 internal nodes, heap order: children of i are 2i+1, 2i+2
+}
+
+func newTreePLRU(ways int) *treePLRU {
+	return &treePLRU{ways: ways, bits: make([]int, ways-1)}
+}
+
+func (p *treePLRU) update(way int) {
+	// Walk from the root to the leaf, setting each bit to point away from
+	// the accessed way.
+	node, lo, hi := 0, 0, p.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			p.bits[node] = 1 // accessed left, cold side is right
+			node, hi = 2*node+1, mid
+		} else {
+			p.bits[node] = 0 // accessed right, cold side is left
+			node, lo = 2*node+2, mid
+		}
+	}
+}
+
+func (p *treePLRU) OnHit(way int)  { p.update(way) }
+func (p *treePLRU) OnFill(way int) { p.update(way) }
+
+// Victim follows the cold-pointer bits from the root. If the indicated way
+// is ineligible (locked), it falls back to the first eligible way in
+// tree order, still preferring colder subtrees.
+func (p *treePLRU) Victim(eligible []bool) int {
+	if w := p.follow(0, 0, p.ways); eligible[w] {
+		return w
+	}
+	for w := range eligible {
+		if eligible[w] {
+			return w
+		}
+	}
+	return -1
+}
+
+func (p *treePLRU) follow(node, lo, hi int) int {
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if p.bits[node] == 0 {
+			node, hi = 2*node+1, mid
+		} else {
+			node, lo = 2*node+2, mid
+		}
+	}
+	return lo
+}
+
+func (p *treePLRU) Reset() {
+	for i := range p.bits {
+		p.bits[i] = 0
+	}
+}
+
+func (p *treePLRU) State() []int {
+	out := make([]int, len(p.bits))
+	copy(out, p.bits)
+	return out
+}
+
+// rripPolicy implements 2-bit static RRIP [26]: each way keeps a
+// re-reference prediction value (RRPV) in 0..3. New lines are installed
+// with RRPV 2 ("long re-reference interval"); a hit promotes the line to
+// RRPV 0. The victim is a way with RRPV 3; if none exists, all RRPVs age
+// until one reaches 3.
+type rripPolicy struct {
+	rrpv []int
+}
+
+const rripMax = 3
+const rripInsert = 2
+
+func newRRIP(ways int) *rripPolicy {
+	p := &rripPolicy{rrpv: make([]int, ways)}
+	p.Reset()
+	return p
+}
+
+func (p *rripPolicy) OnHit(way int)  { p.rrpv[way] = 0 }
+func (p *rripPolicy) OnFill(way int) { p.rrpv[way] = rripInsert }
+
+func (p *rripPolicy) Victim(eligible []bool) int {
+	for {
+		for w, v := range p.rrpv {
+			if eligible[w] && v == rripMax {
+				return w
+			}
+		}
+		// Age every line and retry; locked lines age too, matching
+		// hardware where the SRRIP aging sweep is oblivious to locks.
+		for w := range p.rrpv {
+			if p.rrpv[w] < rripMax {
+				p.rrpv[w]++
+			}
+		}
+	}
+}
+
+func (p *rripPolicy) Reset() {
+	for w := range p.rrpv {
+		p.rrpv[w] = rripMax
+	}
+}
+
+func (p *rripPolicy) State() []int {
+	out := make([]int, len(p.rrpv))
+	copy(out, p.rrpv)
+	return out
+}
+
+// randomPolicy evicts a uniformly random eligible way, modelling the
+// pseudo-random replacement found in ARM cores and studied in Table VI.
+type randomPolicy struct {
+	ways int
+	rng  *rand.Rand
+}
+
+func (p *randomPolicy) OnHit(int)  {}
+func (p *randomPolicy) OnFill(int) {}
+
+func (p *randomPolicy) Victim(eligible []bool) int {
+	n := 0
+	for _, e := range eligible {
+		if e {
+			n++
+		}
+	}
+	if n == 0 {
+		return -1
+	}
+	k := p.rng.Intn(n)
+	for w, e := range eligible {
+		if e {
+			if k == 0 {
+				return w
+			}
+			k--
+		}
+	}
+	return -1
+}
+
+func (p *randomPolicy) Reset() {}
+
+func (p *randomPolicy) State() []int { return nil }

@@ -1,0 +1,85 @@
+package cache
+
+// prefetcher decides which extra addresses to pull into the cache after a
+// demand access. Prefetch fills update replacement state like normal fills
+// but are reported separately in Result.Prefetched so the environment can
+// annotate traces the way Table IV does ("6(p7)").
+type prefetcher interface {
+	// after returns the addresses to prefetch following a demand access
+	// to a.
+	after(a Addr) []Addr
+	// reset clears any training state.
+	reset()
+}
+
+func newPrefetcher(kind PrefetcherKind, addrSpace int) prefetcher {
+	switch kind {
+	case NextLine:
+		return &nextLinePrefetcher{addrSpace: addrSpace}
+	case StreamPrefetch:
+		return &streamPrefetcher{addrSpace: addrSpace}
+	default:
+		return noPrefetcher{}
+	}
+}
+
+type noPrefetcher struct{}
+
+func (noPrefetcher) after(Addr) []Addr { return nil }
+func (noPrefetcher) reset()            {}
+
+// nextLinePrefetcher fetches a+1 after every demand access [64]. The
+// successor wraps modulo the configured address space, reproducing the
+// paper's config-2 trace where address 7 prefetches 0.
+type nextLinePrefetcher struct {
+	addrSpace int
+}
+
+func (p *nextLinePrefetcher) after(a Addr) []Addr {
+	n := Addr(a + 1)
+	if p.addrSpace > 0 {
+		n = Addr((int(a) + 1) % p.addrSpace)
+	}
+	return []Addr{n}
+}
+
+func (p *nextLinePrefetcher) reset() {}
+
+// streamPrefetcher models a simple stream detector [27]: once two
+// consecutive accesses repeat the same positive stride, it prefetches one
+// stride ahead. This reproduces the paper's config-14 trace where the run
+// 4, 6, 8 (stride 2) triggers a prefetch of 10.
+type streamPrefetcher struct {
+	addrSpace int
+	last      Addr
+	stride    int
+	confirmed bool
+	primed    bool
+}
+
+func (p *streamPrefetcher) after(a Addr) []Addr {
+	defer func() { p.last = a }()
+	if !p.primed {
+		p.primed = true
+		return nil
+	}
+	s := int(a) - int(p.last)
+	if s > 0 && s == p.stride {
+		p.confirmed = true
+	} else {
+		p.confirmed = false
+	}
+	p.stride = s
+	if !p.confirmed {
+		return nil
+	}
+	n := int(a) + s
+	if p.addrSpace > 0 {
+		n %= p.addrSpace
+	}
+	return []Addr{Addr(n)}
+}
+
+func (p *streamPrefetcher) reset() {
+	p.last, p.stride, p.confirmed, p.primed = 0, 0, false, false
+}

@@ -1,0 +1,160 @@
+// Package core is the AutoCAT framework itself (Figure 2a): it wires a
+// target cache implementation into the guessing-game environment, trains
+// the PPO agent, extracts attack sequences by deterministic replay, and
+// classifies them — the full pipeline from "cache implementation +
+// attack/victim configuration" to "attack sequence + category".
+package core
+
+import (
+	"fmt"
+
+	"autocat/internal/analysis"
+	"autocat/internal/detect"
+	"autocat/internal/env"
+	"autocat/internal/nn"
+	"autocat/internal/rl"
+)
+
+// Backbone selects the policy network architecture.
+type Backbone string
+
+// Available policy backbones.
+const (
+	MLP         Backbone = "mlp"         // fast default (§VI-B)
+	Transformer Backbone = "transformer" // the paper's architecture (§IV-C)
+)
+
+// Config assembles one exploration run.
+type Config struct {
+	// Env is the guessing-game configuration (cache, address ranges,
+	// rewards, detectors).
+	Env env.Config
+	// Envs is the number of parallel rollout environments. Default 8.
+	Envs int
+	// TargetFactory, when set, builds a fresh Target per parallel
+	// environment (stateful targets such as black-box machines must not
+	// be shared between rollout actors).
+	TargetFactory func(i int) (env.Target, error)
+	// DetectorFactory, when set, builds a fresh Detector per environment
+	// for the same reason.
+	DetectorFactory func() detect.Detector
+	// Backbone picks the policy network. Default MLP.
+	Backbone Backbone
+	// Hidden sizes the MLP trunk. Default [64, 64].
+	Hidden []int
+	// PPO carries the trainer hyperparameters; its Seed also seeds the
+	// network and environments.
+	PPO rl.PPOConfig
+	// EvalEpisodes sizes the final greedy evaluation. Default 256.
+	EvalEpisodes int
+}
+
+// Result is the outcome of one exploration.
+type Result struct {
+	Train     rl.Result
+	Eval      rl.EvalStats
+	Attack    rl.Episode
+	AttackOK  bool
+	Sequence  string // the attack in the paper's arrow notation
+	Category  analysis.Category
+	NumParams int
+}
+
+// Explorer owns the environments, network and trainer for one run.
+type Explorer struct {
+	cfg     Config
+	envs    []*env.Env
+	net     nn.PolicyValueNet
+	trainer *rl.Trainer
+}
+
+// New validates the configuration and builds the explorer.
+func New(cfg Config) (*Explorer, error) {
+	if cfg.Envs == 0 {
+		cfg.Envs = 8
+	}
+	if cfg.Backbone == "" {
+		cfg.Backbone = MLP
+	}
+	if cfg.EvalEpisodes == 0 {
+		cfg.EvalEpisodes = 256
+	}
+	ex := &Explorer{cfg: cfg}
+	for i := 0; i < cfg.Envs; i++ {
+		ecfg := cfg.Env
+		ecfg.Seed = cfg.Env.Seed + int64(i)*7919
+		if cfg.TargetFactory != nil {
+			t, err := cfg.TargetFactory(i)
+			if err != nil {
+				return nil, fmt.Errorf("core: target %d: %w", i, err)
+			}
+			ecfg.Target = t
+		}
+		if cfg.DetectorFactory != nil {
+			ecfg.Detector = cfg.DetectorFactory()
+		}
+		e, err := env.New(ecfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: environment %d: %w", i, err)
+		}
+		ex.envs = append(ex.envs, e)
+	}
+	e0 := ex.envs[0]
+	switch cfg.Backbone {
+	case MLP:
+		ex.net = nn.NewMLP(nn.MLPConfig{
+			ObsDim:  e0.ObsDim(),
+			Actions: e0.NumActions(),
+			Hidden:  cfg.Hidden,
+			Seed:    cfg.PPO.Seed,
+		})
+	case Transformer:
+		ex.net = nn.NewTransformer(nn.TransformerConfig{
+			Window:   e0.Window(),
+			Features: e0.FeatureDim(),
+			Actions:  e0.NumActions(),
+			Seed:     cfg.PPO.Seed,
+		})
+	default:
+		return nil, fmt.Errorf("core: unknown backbone %q", cfg.Backbone)
+	}
+	tr, err := rl.NewTrainer(ex.net, ex.envs, cfg.PPO)
+	if err != nil {
+		return nil, err
+	}
+	ex.trainer = tr
+	return ex, nil
+}
+
+// Env returns the first environment (for replay and formatting).
+func (ex *Explorer) Env() *env.Env { return ex.envs[0] }
+
+// Net returns the policy network.
+func (ex *Explorer) Net() nn.PolicyValueNet { return ex.net }
+
+// Trainer exposes the underlying PPO trainer for epoch-level control.
+func (ex *Explorer) Trainer() *rl.Trainer { return ex.trainer }
+
+// Run trains to convergence (or the epoch budget), evaluates the greedy
+// policy, extracts an attack sequence, and classifies it.
+func (ex *Explorer) Run() *Result {
+	res := &Result{Train: ex.trainer.Train()}
+	e := ex.envs[0]
+	res.Eval = rl.Evaluate(ex.net, e, ex.cfg.EvalEpisodes)
+	res.Attack, res.AttackOK = rl.ExtractAttack(ex.net, e, 64)
+	res.Sequence = e.FormatTrace(res.Attack.Actions)
+	res.Category = analysis.Classify(e, res.Attack.Actions)
+	for _, p := range ex.net.Params() {
+		res.NumParams += len(p.Val)
+	}
+	return res
+}
+
+// Explore is the one-call convenience: build an explorer and run it.
+func Explore(cfg Config) (*Result, error) {
+	ex, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ex.Run(), nil
+}

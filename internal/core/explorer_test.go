@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"autocat/internal/cache"
+	"autocat/internal/env"
+	"autocat/internal/rl"
+)
+
+func TestExplorerValidation(t *testing.T) {
+	_, err := New(Config{Env: env.Config{
+		Cache:      cache.Config{NumBlocks: 3, NumWays: 2},
+		AttackerLo: 0, AttackerHi: 1,
+	}})
+	if err == nil {
+		t.Fatal("invalid cache config must be rejected")
+	}
+	_, err = New(Config{
+		Env: env.Config{
+			Cache:      cache.Config{NumBlocks: 1, NumWays: 1},
+			AttackerLo: 1, AttackerHi: 1,
+			VictimLo: 0, VictimHi: 0,
+		},
+		Backbone: "lstm",
+	})
+	if err == nil {
+		t.Fatal("unknown backbone must be rejected")
+	}
+}
+
+func TestExploreEndToEnd(t *testing.T) {
+	// Full pipeline on the 1-bit channel: train, evaluate, extract,
+	// classify.
+	res, err := Explore(Config{
+		Env: env.Config{
+			Cache:      cache.Config{NumBlocks: 1, NumWays: 1},
+			AttackerLo: 1, AttackerHi: 1,
+			VictimLo: 0, VictimHi: 0,
+			VictimNoAccess: true,
+			WindowSize:     6,
+			Warmup:         -1,
+			Seed:           21,
+		},
+		Hidden: []int{32, 32},
+		PPO: rl.PPOConfig{
+			StepsPerEpoch: 2048,
+			MaxEpochs:     60,
+			Seed:          21,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Train.Converged {
+		t.Fatalf("exploration did not converge: final accuracy %.3f", res.Train.FinalAccuracy)
+	}
+	if !res.AttackOK {
+		t.Fatal("no correct attack extracted")
+	}
+	if res.Eval.Accuracy < 0.95 {
+		t.Fatalf("greedy accuracy %.3f", res.Eval.Accuracy)
+	}
+	if res.Sequence == "" {
+		t.Fatal("attack sequence not formatted")
+	}
+	if res.NumParams == 0 {
+		t.Fatal("parameter count missing")
+	}
+	// The 1-line prime+probe is a genuine prime+probe: the attacker
+	// primes its conflicting line and probes it after the trigger.
+	t.Logf("found attack %s classified as %s", res.Sequence, res.Category)
+}

@@ -1,0 +1,244 @@
+package covert
+
+import (
+	"strings"
+	"testing"
+
+	"autocat/internal/cache"
+)
+
+func TestChannelConfigValidation(t *testing.T) {
+	if _, err := NewStealthyStreamline(ChannelConfig{Ways: 4, SymbolBits: 2}); err == nil {
+		t.Fatal("2-bit symbols need >= 5 ways")
+	}
+	if _, err := NewStealthyStreamline(ChannelConfig{Ways: 8, SymbolBits: 4}); err == nil {
+		t.Fatal("symbol widths other than 2/3 must be rejected")
+	}
+	if _, err := NewLRUAddrChannel(ChannelConfig{Ways: 8, SymbolBits: 3}); err == nil {
+		t.Fatal("3-bit symbols need >= 9 ways")
+	}
+}
+
+// mkChannels builds both channels for a quiet LRU set.
+func mkChannels(t *testing.T, ways, bits int) (*StealthyStreamline, *LRUAddrChannel) {
+	t.Helper()
+	cfg := ChannelConfig{Ways: ways, SymbolBits: bits, Policy: cache.LRU}
+	ss, err := NewStealthyStreamline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lru, err := NewLRUAddrChannel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ss, lru
+}
+
+func TestPerfectDecodeOnQuietLRU(t *testing.T) {
+	for _, ways := range []int{8, 12} {
+		for _, bits := range []int{2, 3} {
+			if ways < (1<<bits)+1 {
+				continue
+			}
+			ss, lru := mkChannels(t, ways, bits)
+			for rep := 0; rep < 30; rep++ {
+				for s := 0; s < 1<<bits; s++ {
+					sym := (s*3 + rep) % (1 << bits)
+					if r := ss.Round(sym); r.Decoded != sym {
+						t.Fatalf("SS %d-way %d-bit decoded %d, sent %d", ways, bits, r.Decoded, sym)
+					}
+					if r := lru.Round(sym); r.Decoded != sym {
+						t.Fatalf("LRUaddr %d-way %d-bit decoded %d, sent %d", ways, bits, r.Decoded, sym)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStealthyStreamlineVictimNeverMisses(t *testing.T) {
+	ss, _ := mkChannels(t, 8, 2)
+	for rep := 0; rep < 100; rep++ {
+		if r := ss.Round(rep % 4); r.VictimMiss {
+			t.Fatal("StealthyStreamline must keep the sender's accesses hitting (the stealth property)")
+		}
+	}
+}
+
+func TestAccessCountsMatchPaper(t *testing.T) {
+	// "4 out of 10 for the 8-way cache vs 4 out of 14 for the 12-way"
+	// (§V-E) — our construction is 1 sender + (W-3) stream + 4 probes.
+	for _, tc := range []struct{ ways, accesses, measured int }{
+		{8, 10, 4},
+		{12, 14, 4},
+	} {
+		ss, _ := mkChannels(t, tc.ways, 2)
+		r := ss.Round(1)
+		if r.Accesses != tc.accesses || r.Measured != tc.measured {
+			t.Fatalf("%d-way SS round: %d accesses (%d measured), want %d (%d)",
+				tc.ways, r.Accesses, r.Measured, tc.accesses, tc.measured)
+		}
+	}
+}
+
+func TestBaselineCostsMoreThanStealthy(t *testing.T) {
+	for _, ways := range []int{8, 12} {
+		ss, lru := mkChannels(t, ways, 2)
+		rs, rl := ss.Round(2), lru.Round(2)
+		if rl.Accesses <= rs.Accesses {
+			t.Fatalf("%d-way: baseline %d accesses should exceed SS %d", ways, rl.Accesses, rs.Accesses)
+		}
+		if rl.Measured <= rs.Measured {
+			t.Fatalf("%d-way: baseline %d measured should exceed SS %d", ways, rl.Measured, rs.Measured)
+		}
+		if rl.Cycles <= rs.Cycles {
+			t.Fatalf("%d-way: baseline %d cycles should exceed SS %d", ways, rl.Cycles, rs.Cycles)
+		}
+	}
+}
+
+func TestPLRUDegradesThreeBitMoreThanTwoBit(t *testing.T) {
+	// §V-E: "the 3-bit StealthyStreamline has a high error rate due to
+	// the tree structure in PLRU, while the 2-bit has a low error rate."
+	errRate := func(bits int) float64 {
+		cfg := ChannelConfig{Ways: 16, SymbolBits: bits, Policy: cache.PLRU}
+		ss, err := NewStealthyStreamline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs, n := 0, 0
+		for rep := 0; rep < 40; rep++ {
+			for s := 0; s < 1<<bits; s++ {
+				sym := (s*5 + rep) % (1 << bits)
+				if r := ss.Round(sym); r.Decoded != sym {
+					errs++
+				}
+				n++
+			}
+		}
+		return float64(errs) / float64(n)
+	}
+	e2, e3 := errRate(2), errRate(3)
+	if e3 <= e2 {
+		t.Fatalf("3-bit PLRU error %.3f should exceed 2-bit %.3f", e3, e2)
+	}
+}
+
+func TestTransmitRoundTripNoNoise(t *testing.T) {
+	ss, _ := mkChannels(t, 8, 2)
+	bits := RandomBits(512, 42)
+	tr := Transmit(ss, bits, DefaultTiming())
+	if tr.ErrorRate != 0 {
+		t.Fatalf("noise-free transmission error rate = %v", tr.ErrorRate)
+	}
+	if tr.Symbols != 256 {
+		t.Fatalf("512 bits / 2-bit symbols = 256 rounds, got %d", tr.Symbols)
+	}
+	if tr.BitRateMbps <= 0 {
+		t.Fatal("bit rate must be positive")
+	}
+}
+
+func TestTableXShape(t *testing.T) {
+	// The headline Table X claims: StealthyStreamline beats the LRU
+	// address-based channel on every machine at <5% error, and the
+	// improvement is larger on the 12-way machines than the 8-way ones.
+	type row struct {
+		ways int
+		impr float64
+	}
+	var rows []row
+	for _, m := range Machines() {
+		lru, err := MeasureOnMachine(m, false, 2, 1024, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := MeasureOnMachine(m, true, 2, 1024, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lru.ErrorRate >= 0.05 || ss.ErrorRate >= 0.05 {
+			t.Fatalf("%s: error rates %.3f / %.3f exceed the 5%% operating point", m.Name, lru.ErrorRate, ss.ErrorRate)
+		}
+		if ss.BitRateMbps <= lru.BitRateMbps {
+			t.Fatalf("%s: SS %.2f Mbps should beat LRU %.2f Mbps", m.Name, ss.BitRateMbps, lru.BitRateMbps)
+		}
+		rows = append(rows, row{m.L1Ways, ss.BitRateMbps/lru.BitRateMbps - 1})
+	}
+	for _, r12 := range rows {
+		if r12.ways != 12 {
+			continue
+		}
+		for _, r8 := range rows {
+			if r8.ways == 8 && r12.impr <= r8.impr {
+				t.Fatalf("12-way improvement %.2f should exceed 8-way %.2f", r12.impr, r8.impr)
+			}
+		}
+	}
+}
+
+func TestRateErrorSweepMonotoneTradeoff(t *testing.T) {
+	m := Machines()[0]
+	pts := RateErrorSweep(m, true, []float64{2, 1, 0.5, 0.25}, 512, 3)
+	if len(pts) != 4 {
+		t.Fatalf("sweep returned %d points", len(pts))
+	}
+	// Bit rate rises as the guard shrinks.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].BitRateMbps <= pts[i-1].BitRateMbps {
+			t.Fatalf("bit rate should rise with smaller guard: %+v", pts)
+		}
+	}
+	// Error rate at the fastest point exceeds the slowest point's.
+	if pts[len(pts)-1].ErrorRate < pts[0].ErrorRate {
+		t.Fatalf("error rate should rise with smaller guard: %+v", pts)
+	}
+}
+
+func TestStateTraceWalkthrough(t *testing.T) {
+	ss, _ := mkChannels(t, 8, 2)
+	trace := ss.StateTrace(2)
+	if len(trace) != 4 {
+		t.Fatalf("state trace should have 4 phases, got %d", len(trace))
+	}
+	for _, phase := range []string{"initial", "victim access", "eviction stream", "probe/refill"} {
+		found := false
+		for _, s := range trace {
+			if strings.HasPrefix(s, phase) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing phase %q in trace", phase)
+		}
+	}
+}
+
+func TestNoiseProducesErrors(t *testing.T) {
+	cfg := ChannelConfig{Ways: 8, SymbolBits: 2, Policy: cache.LRU, NoiseEvict: 0.05, Seed: 9}
+	ss, err := NewStealthyStreamline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i := 0; i < 400; i++ {
+		if r := ss.Round(i % 4); r.Decoded != r.Sent {
+			errs++
+		}
+	}
+	if errs == 0 {
+		t.Fatal("5% per-access interference should corrupt some symbols")
+	}
+}
+
+func TestRandomBitsDeterministic(t *testing.T) {
+	a, b := RandomBits(64, 5), RandomBits(64, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same bits")
+		}
+		if a[i] > 1 {
+			t.Fatal("bits must be 0/1")
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package detect
+
+import (
+	"fmt"
+
+	"autocat/internal/cache"
+	"autocat/internal/svm"
+	"autocat/internal/trace"
+)
+
+// CycloneFeatures extracts Cyclone-style feature vectors from a trace:
+// for each fixed-length interval, the per-cache-set count of cyclic
+// interference patterns a ⇝ b ⇝ a between the two security domains [22].
+// numSets must match the monitored cache; interval is the number of
+// accesses per feature vector. Partial trailing intervals are dropped,
+// matching a fixed-period hardware monitor.
+func CycloneFeatures(accs []trace.Access, setOf func(cache.Addr) int, numSets, interval int) [][]float64 {
+	if interval <= 0 {
+		interval = 40
+	}
+	ext := newCyclicExtractor(numSets)
+	var out [][]float64
+	for i, a := range accs {
+		ext.observe(setOf(a.Addr), a.Dom)
+		if (i+1)%interval == 0 {
+			out = append(out, ext.flush())
+		}
+	}
+	return out
+}
+
+// cyclicExtractor tracks, per cache set, the last two domains to touch the
+// set and counts completed a ⇝ b ⇝ a cycles with a ≠ b.
+type cyclicExtractor struct {
+	last, prev []cache.Domain
+	counts     []float64
+}
+
+func newCyclicExtractor(numSets int) *cyclicExtractor {
+	return &cyclicExtractor{
+		last:   make([]cache.Domain, numSets),
+		prev:   make([]cache.Domain, numSets),
+		counts: make([]float64, numSets),
+	}
+}
+
+func (e *cyclicExtractor) observe(set int, dom cache.Domain) {
+	if set < 0 || set >= len(e.counts) || dom == cache.DomainNone {
+		return
+	}
+	if e.last[set] != cache.DomainNone && e.last[set] != dom && e.prev[set] == dom {
+		e.counts[set]++
+	}
+	e.prev[set], e.last[set] = e.last[set], dom
+}
+
+// flush returns the interval's counts and zeroes them; domain history
+// carries across intervals like the hardware table would.
+func (e *cyclicExtractor) flush() []float64 {
+	out := make([]float64, len(e.counts))
+	copy(out, e.counts)
+	for i := range e.counts {
+		e.counts[i] = 0
+	}
+	return out
+}
+
+// Cyclone is the trained SVM detector. It accumulates cyclic-interference
+// counts online and classifies each completed interval; the episode verdict
+// is "attack" when any interval is flagged, and the auxiliary penalty is
+// the flagged-interval fraction.
+type Cyclone struct {
+	Model    *svm.Model
+	Interval int
+
+	ext       *cyclicExtractor
+	steps     int
+	intervals int
+	flagged   int
+	online    bool
+}
+
+// NewCyclone wraps a trained model for a cache with numSets sets.
+func NewCyclone(model *svm.Model, numSets, interval int) *Cyclone {
+	if interval <= 0 {
+		interval = 40
+	}
+	return &Cyclone{Model: model, Interval: interval, ext: newCyclicExtractor(numSets)}
+}
+
+// Reset clears interval state between episodes.
+func (d *Cyclone) Reset() {
+	d.ext = newCyclicExtractor(len(d.ext.counts))
+	d.steps, d.intervals, d.flagged = 0, 0, 0
+	d.online = false
+}
+
+// Record feeds one access; completed intervals are classified immediately.
+func (d *Cyclone) Record(a Access) {
+	d.ext.observe(a.Set, a.Dom)
+	d.steps++
+	if d.steps%d.Interval == 0 {
+		feat := d.ext.flush()
+		d.intervals++
+		if d.Model.Predict(feat) > 0 {
+			d.flagged++
+			d.online = true
+		}
+	}
+}
+
+// Detected reports whether any completed interval has been flagged.
+func (d *Cyclone) Detected() bool { return d.online }
+
+// Finalize also classifies the trailing partial interval, so short
+// episodes still get screened.
+func (d *Cyclone) Finalize() Verdict {
+	if d.steps%d.Interval != 0 {
+		feat := d.ext.flush()
+		d.intervals++
+		if d.Model.Predict(feat) > 0 {
+			d.flagged++
+			d.online = true
+		}
+	}
+	v := Verdict{Detected: d.flagged > 0}
+	if d.intervals > 0 {
+		v.Penalty = float64(d.flagged) / float64(d.intervals)
+	}
+	return v
+}
+
+// TrainCycloneConfig configures detector training.
+type TrainCycloneConfig struct {
+	// NumSets is the monitored cache's set count.
+	NumSets int
+	// Interval is the accesses-per-feature-vector period (default 40).
+	Interval int
+	// BenignTraces and AttackTraces are the labelled training corpora.
+	BenignTraces [][]trace.Access
+	AttackTraces [][]trace.Access
+	// SetOf maps an address to its set; nil defaults to addr mod NumSets.
+	SetOf func(cache.Addr) int
+	// SVM overrides the SVM training configuration.
+	SVM svm.TrainConfig
+}
+
+// TrainCyclone extracts features from the labelled traces, fits the linear
+// SVM, and reports the k-fold cross-validation accuracy (the paper reports
+// 98.8% for 5 folds).
+func TrainCyclone(cfg TrainCycloneConfig) (*Cyclone, float64, error) {
+	if cfg.NumSets <= 0 {
+		return nil, 0, fmt.Errorf("detect: NumSets must be positive")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 40
+	}
+	setOf := cfg.SetOf
+	if setOf == nil {
+		n := cfg.NumSets
+		setOf = func(a cache.Addr) int { return (int(a)%n + n) % n }
+	}
+	var X [][]float64
+	var y []int
+	for _, tr := range cfg.BenignTraces {
+		for _, f := range CycloneFeatures(tr, setOf, cfg.NumSets, cfg.Interval) {
+			X, y = append(X, f), append(y, -1)
+		}
+	}
+	for _, tr := range cfg.AttackTraces {
+		for _, f := range CycloneFeatures(tr, setOf, cfg.NumSets, cfg.Interval) {
+			X, y = append(X, f), append(y, 1)
+		}
+	}
+	if len(X) == 0 {
+		return nil, 0, fmt.Errorf("detect: no training features extracted")
+	}
+	cv, err := svm.CrossValidate(X, y, 5, cfg.SVM)
+	if err != nil {
+		return nil, 0, err
+	}
+	model, err := svm.Train(X, y, cfg.SVM)
+	if err != nil {
+		return nil, 0, err
+	}
+	return NewCyclone(model, cfg.NumSets, cfg.Interval), cv, nil
+}

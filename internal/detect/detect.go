@@ -1,0 +1,154 @@
+// Package detect implements the cache-timing attack detection schemes the
+// paper pits AutoCAT against (§V-D): microarchitecture-statistics (victim
+// miss) based detection, CC-Hunter-style autocorrelation detection of
+// conflict-miss event trains, and a Cyclone-style SVM detector over cyclic
+// interference features.
+package detect
+
+import (
+	"autocat/internal/cache"
+	"autocat/internal/stats"
+)
+
+// Access is the per-step record detectors consume: who accessed what, the
+// hit/miss outcome, and any evictions the access caused.
+type Access struct {
+	Dom       cache.Domain
+	Addr      cache.Addr
+	Set       int
+	Hit       bool
+	Evictions []cache.Eviction
+}
+
+// Verdict is the end-of-episode result: whether the detector flags the
+// trace as an attack, and an auxiliary penalty magnitude (>= 0) the
+// environment can scale into the reward (the L2 autocorrelation penalty of
+// §V-D, or the flagged-interval fraction for the SVM detector).
+type Verdict struct {
+	Detected bool
+	Penalty  float64
+}
+
+// Detector screens an episode of cache activity. Record is called once per
+// access in order; Detected may flag online (mid-episode) detection;
+// Finalize delivers the end-of-episode verdict.
+type Detector interface {
+	Reset()
+	Record(a Access)
+	Detected() bool
+	Finalize() Verdict
+}
+
+// MissBased flags the episode as soon as the victim suffers a cache miss,
+// modelling hardware-performance-counter detection of abnormal victim miss
+// counts (§V-D "µarch Statistics-based Detection"). The threshold is one
+// miss, the configuration the paper trains against.
+type MissBased struct {
+	fired bool
+}
+
+// NewMissBased returns a fresh victim-miss detector.
+func NewMissBased() *MissBased { return &MissBased{} }
+
+// Reset clears the detection flag.
+func (d *MissBased) Reset() { d.fired = false }
+
+// Record flags the detector when a victim access misses.
+func (d *MissBased) Record(a Access) {
+	if a.Dom == cache.DomainVictim && !a.Hit {
+		d.fired = true
+	}
+}
+
+// Detected reports whether a victim miss has occurred.
+func (d *MissBased) Detected() bool { return d.fired }
+
+// Finalize returns the online verdict with no auxiliary penalty.
+func (d *MissBased) Finalize() Verdict { return Verdict{Detected: d.fired} }
+
+// CCHunter detects covert channels from the autocorrelation of the
+// conflict-miss event train [11]: attacker-evicts-victim events are encoded
+// as 1 and victim-evicts-attacker events as 0, and the episode is flagged
+// when max_{1<=p<=P} Cp exceeds the threshold.
+type CCHunter struct {
+	// MaxLag is the P parameter; zero defaults to 30.
+	MaxLag int
+	// Threshold is C_threshold; zero defaults to 0.75 (the paper's
+	// example value).
+	Threshold float64
+
+	train []float64
+}
+
+// NewCCHunter returns a detector with the paper's default parameters.
+func NewCCHunter() *CCHunter { return &CCHunter{MaxLag: 30, Threshold: 0.75} }
+
+func (d *CCHunter) maxLag() int {
+	if d.MaxLag <= 0 {
+		return 30
+	}
+	return d.MaxLag
+}
+
+func (d *CCHunter) threshold() float64 {
+	if d.Threshold <= 0 {
+		return 0.75
+	}
+	return d.Threshold
+}
+
+// Reset discards the accumulated event train.
+func (d *CCHunter) Reset() { d.train = d.train[:0] }
+
+// Record appends cross-domain conflict-miss events to the train.
+func (d *CCHunter) Record(a Access) {
+	for _, ev := range a.Evictions {
+		switch {
+		case ev.ByDomain == cache.DomainAttacker && ev.EvictedDomain == cache.DomainVictim:
+			d.train = append(d.train, 1) // A→V
+		case ev.ByDomain == cache.DomainVictim && ev.EvictedDomain == cache.DomainAttacker:
+			d.train = append(d.train, 0) // V→A
+		}
+	}
+}
+
+// Detected always reports false: autocorrelation is an offline,
+// end-of-interval analysis.
+func (d *CCHunter) Detected() bool { return false }
+
+// MaxAutocorrelation returns max Cp over lags 1..P for the current train.
+func (d *CCHunter) MaxAutocorrelation() float64 {
+	return stats.MaxAutocorrelation(d.train, d.maxLag())
+}
+
+// Penalty returns the L2 autocorrelation magnitude Σ_{p=1..P} Cp²/P used
+// for reward shaping (the RL_autocor agent of §V-D).
+func (d *CCHunter) Penalty() float64 {
+	p := d.maxLag()
+	sum := 0.0
+	for lag := 1; lag <= p; lag++ {
+		c := stats.Autocorrelation(d.train, lag)
+		sum += c * c
+	}
+	return sum / float64(p)
+}
+
+// Finalize computes the autocorrelation verdict for the whole episode.
+func (d *CCHunter) Finalize() Verdict {
+	return Verdict{
+		Detected: d.MaxAutocorrelation() > d.threshold(),
+		Penalty:  d.Penalty(),
+	}
+}
+
+// EventTrain returns a copy of the accumulated train (Figure 3a plots it).
+func (d *CCHunter) EventTrain() []float64 {
+	out := make([]float64, len(d.train))
+	copy(out, d.train)
+	return out
+}
+
+// Autocorrelogram returns Cp for p = 0..MaxLag (Figure 3b).
+func (d *CCHunter) Autocorrelogram() []float64 {
+	return stats.Autocorrelogram(d.train, d.maxLag())
+}

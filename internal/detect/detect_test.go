@@ -1,0 +1,229 @@
+package detect
+
+import (
+	"testing"
+
+	"autocat/internal/cache"
+	"autocat/internal/trace"
+)
+
+func TestMissBased(t *testing.T) {
+	d := NewMissBased()
+	d.Record(Access{Dom: cache.DomainAttacker, Hit: false})
+	if d.Detected() {
+		t.Fatal("attacker misses must not trip the victim-miss detector")
+	}
+	d.Record(Access{Dom: cache.DomainVictim, Hit: true})
+	if d.Detected() {
+		t.Fatal("victim hits must not trip the detector")
+	}
+	d.Record(Access{Dom: cache.DomainVictim, Hit: false})
+	if !d.Detected() {
+		t.Fatal("victim miss must trip the detector")
+	}
+	if v := d.Finalize(); !v.Detected {
+		t.Fatal("finalize must report detection")
+	}
+	d.Reset()
+	if d.Detected() {
+		t.Fatal("reset must clear the flag")
+	}
+}
+
+// evict builds an Access carrying a single cross-domain eviction.
+func evict(by, victim cache.Domain) Access {
+	return Access{
+		Dom: by,
+		Evictions: []cache.Eviction{{
+			ByDomain:      by,
+			EvictedDomain: victim,
+			EvictedAddr:   1,
+		}},
+	}
+}
+
+func TestCCHunterDetectsPeriodicTrain(t *testing.T) {
+	d := NewCCHunter()
+	// Strictly alternating A→V, V→A events: a textbook prime+probe
+	// pattern, strongly periodic.
+	for i := 0; i < 40; i++ {
+		d.Record(evict(cache.DomainAttacker, cache.DomainVictim))
+		d.Record(evict(cache.DomainVictim, cache.DomainAttacker))
+	}
+	v := d.Finalize()
+	if !v.Detected {
+		t.Fatalf("periodic train should be detected, max autocorr %v", d.MaxAutocorrelation())
+	}
+	if v.Penalty <= 0 {
+		t.Fatalf("penalty should be positive, got %v", v.Penalty)
+	}
+}
+
+func TestCCHunterIgnoresSameDomainEvictions(t *testing.T) {
+	d := NewCCHunter()
+	for i := 0; i < 40; i++ {
+		d.Record(evict(cache.DomainAttacker, cache.DomainAttacker))
+		d.Record(evict(cache.DomainVictim, cache.DomainVictim))
+		d.Record(evict(cache.DomainAttacker, cache.DomainNone))
+	}
+	if got := len(d.EventTrain()); got != 0 {
+		t.Fatalf("same-domain evictions added %d events", got)
+	}
+	if v := d.Finalize(); v.Detected {
+		t.Fatal("no cross-domain events: no detection")
+	}
+}
+
+func TestCCHunterQuietOnAperiodicTrain(t *testing.T) {
+	d := NewCCHunter()
+	// A burst of A→V events then silence is aperiodic.
+	pattern := []int{1, 1, 1, 0, 1, 0, 0, 1, 1, 0, 1, 1, 1, 0, 0, 0, 1, 0, 1, 1, 0, 0, 1, 0}
+	for _, b := range pattern {
+		if b == 1 {
+			d.Record(evict(cache.DomainAttacker, cache.DomainVictim))
+		} else {
+			d.Record(evict(cache.DomainVictim, cache.DomainAttacker))
+		}
+	}
+	if v := d.Finalize(); v.Detected {
+		t.Fatalf("aperiodic train flagged, max autocorr %v", d.MaxAutocorrelation())
+	}
+}
+
+func TestCCHunterAutocorrelogramLength(t *testing.T) {
+	d := NewCCHunter()
+	for i := 0; i < 10; i++ {
+		d.Record(evict(cache.DomainAttacker, cache.DomainVictim))
+		d.Record(evict(cache.DomainVictim, cache.DomainAttacker))
+	}
+	if got := len(d.Autocorrelogram()); got != 31 {
+		t.Fatalf("autocorrelogram length = %d, want 31 (lags 0..30)", got)
+	}
+	d.Reset()
+	if len(d.EventTrain()) != 0 {
+		t.Fatal("reset must clear the train")
+	}
+}
+
+func TestCyclicExtractorCountsCycles(t *testing.T) {
+	e := newCyclicExtractor(4)
+	// a ⇝ b ⇝ a on set 2.
+	e.observe(2, cache.DomainAttacker)
+	e.observe(2, cache.DomainVictim)
+	e.observe(2, cache.DomainAttacker)
+	f := e.flush()
+	if f[2] != 1 {
+		t.Fatalf("one cycle expected on set 2, got %v", f)
+	}
+	// Same-domain repetition is not cyclic.
+	e.observe(1, cache.DomainAttacker)
+	e.observe(1, cache.DomainAttacker)
+	e.observe(1, cache.DomainAttacker)
+	f = e.flush()
+	if f[1] != 0 {
+		t.Fatalf("same-domain accesses must not count, got %v", f)
+	}
+	// DomainNone never participates.
+	e.observe(0, cache.DomainAttacker)
+	e.observe(0, cache.DomainNone)
+	e.observe(0, cache.DomainAttacker)
+	if f := e.flush(); f[0] != 0 {
+		t.Fatalf("DomainNone should not form cycles, got %v", f)
+	}
+}
+
+func TestCycloneFeaturesShape(t *testing.T) {
+	tr := trace.Benign(trace.BenignConfig{Length: 200, AddrSpace: 16, Seed: 1})
+	setOf := func(a cache.Addr) int { return int(a) % 4 }
+	feats := CycloneFeatures(tr, setOf, 4, 40)
+	if len(feats) != 5 {
+		t.Fatalf("200 accesses / 40 per interval = 5 features, got %d", len(feats))
+	}
+	for _, f := range feats {
+		if len(f) != 4 {
+			t.Fatalf("feature width = %d, want 4", len(f))
+		}
+	}
+}
+
+// attackTrace builds a textbook prime+probe trace: prime 4-7, victim
+// access, probe 4-7, repeated.
+func attackTrace(rounds int) []trace.Access {
+	var out []trace.Access
+	for r := 0; r < rounds; r++ {
+		for a := cache.Addr(4); a <= 7; a++ {
+			out = append(out, trace.Access{Dom: cache.DomainAttacker, Addr: a})
+		}
+		out = append(out, trace.Access{Dom: cache.DomainVictim, Addr: cache.Addr(r % 4)})
+		for a := cache.Addr(4); a <= 7; a++ {
+			out = append(out, trace.Access{Dom: cache.DomainAttacker, Addr: a})
+		}
+	}
+	return out
+}
+
+func TestTrainCycloneSeparatesAttackFromBenign(t *testing.T) {
+	benign := trace.BenignSuite(12, trace.BenignConfig{Length: 400, AddrSpace: 16, Seed: 2})
+	attacks := make([][]trace.Access, 6)
+	for i := range attacks {
+		attacks[i] = attackTrace(40)
+	}
+	det, cv, err := TrainCyclone(TrainCycloneConfig{
+		NumSets:      4,
+		Interval:     40,
+		BenignTraces: benign,
+		AttackTraces: attacks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv < 0.9 {
+		t.Fatalf("cross-validation accuracy = %v, want > 0.9 (paper: 0.988)", cv)
+	}
+	// The detector must flag a fresh attack trace.
+	det.Reset()
+	for _, a := range attackTrace(10) {
+		det.Record(Access{Dom: a.Dom, Addr: a.Addr, Set: int(a.Addr) % 4})
+	}
+	if v := det.Finalize(); !v.Detected {
+		t.Fatal("trained Cyclone should flag a prime+probe trace")
+	}
+	// And stay quiet on a fresh benign trace.
+	det.Reset()
+	for _, a := range trace.Benign(trace.BenignConfig{Length: 400, AddrSpace: 16, Seed: 77}) {
+		det.Record(Access{Dom: a.Dom, Addr: a.Addr, Set: int(a.Addr) % 4})
+	}
+	if v := det.Finalize(); v.Detected {
+		t.Fatal("trained Cyclone flagged a benign trace")
+	}
+}
+
+func TestTrainCycloneValidation(t *testing.T) {
+	if _, _, err := TrainCyclone(TrainCycloneConfig{}); err == nil {
+		t.Fatal("zero NumSets must error")
+	}
+	if _, _, err := TrainCyclone(TrainCycloneConfig{NumSets: 4}); err == nil {
+		t.Fatal("empty corpora must error")
+	}
+}
+
+func TestCyclonePartialIntervalScreenedAtFinalize(t *testing.T) {
+	benign := trace.BenignSuite(8, trace.BenignConfig{Length: 400, AddrSpace: 16, Seed: 3})
+	attacks := [][]trace.Access{attackTrace(40), attackTrace(40)}
+	det, _, err := TrainCyclone(TrainCycloneConfig{NumSets: 4, Interval: 40, BenignTraces: benign, AttackTraces: attacks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.Reset()
+	// Feed fewer accesses than one interval: Finalize must still classify.
+	for _, a := range attackTrace(3)[:30] {
+		det.Record(Access{Dom: a.Dom, Addr: a.Addr, Set: int(a.Addr) % 4})
+	}
+	v := det.Finalize()
+	if !v.Detected {
+		t.Log("partial-interval attack not flagged (acceptable: fewer cycles than a full interval)")
+	}
+	if v.Penalty < 0 || v.Penalty > 1 {
+		t.Fatalf("penalty must be a fraction, got %v", v.Penalty)
+	}
+}

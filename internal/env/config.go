@@ -1,0 +1,182 @@
+// Package env implements the cache guessing game: the Gym-style
+// reinforcement-learning environment at the core of AutoCAT (§III-B, §IV).
+//
+// In each episode the environment draws a secret address for the victim
+// program. The agent controls the attack program (and, for simplicity, when
+// the victim runs): it can access or flush attacker addresses, trigger the
+// victim's secret-dependent access, and finally guess the secret. Rewards
+// follow the paper's Table II.
+package env
+
+import (
+	"fmt"
+
+	"autocat/internal/cache"
+	"autocat/internal/detect"
+)
+
+// Rewards mirrors the reward options of Table II.
+type Rewards struct {
+	CorrectGuess    float64 // reward for a correct guess (> 0)
+	WrongGuess      float64 // reward for a wrong guess (<= 0)
+	Step            float64 // per-action penalty (<= 0)
+	LengthViolation float64 // penalty when the episode exceeds the window
+	Detection       float64 // penalty when a detector flags the episode
+	NoGuess         float64 // multi-guess mode: penalty for a guess-free episode
+}
+
+// DefaultRewards returns the values used throughout the paper's
+// experiments: +1 correct, -1 wrong, -0.01 step (§IV-C).
+func DefaultRewards() Rewards {
+	return Rewards{
+		CorrectGuess:    1,
+		WrongGuess:      -1,
+		Step:            -0.01,
+		LengthViolation: -2,
+		Detection:       -2,
+		NoGuess:         -2,
+	}
+}
+
+// Target is the cache implementation the environment drives: the software
+// simulator, a two-level hierarchy, or a simulated black-box machine
+// (internal/hw). Access attributes the request to a security domain so
+// detectors can build event trains.
+type Target interface {
+	Access(a cache.Addr, dom cache.Domain) cache.Result
+	Flush(a cache.Addr) bool
+	// SetOf reports the set an address maps to (used by detectors).
+	SetOf(a cache.Addr) int
+	Reset()
+}
+
+// Config assembles a guessing-game instance, mirroring the paper's
+// Table II attack & victim program configuration block.
+type Config struct {
+	// Target is the cache under attack. Exactly one of Target or Cache
+	// must be set; Cache is a convenience that wraps a fresh simulator.
+	Target Target
+	Cache  cache.Config
+
+	// AttackerLo/Hi is the attack program's inclusive address range
+	// (attack_addr_s / attack_addr_e).
+	AttackerLo, AttackerHi cache.Addr
+	// VictimLo/Hi is the victim program's inclusive address range
+	// (victim_addr_s / victim_addr_e). The secret is drawn uniformly
+	// from this range (plus "no access" when VictimNoAccess is set).
+	VictimLo, VictimHi cache.Addr
+
+	// FlushEnable adds a flush action per attacker address (flush_enable).
+	FlushEnable bool
+	// VictimNoAccess lets the victim make no access with the same
+	// probability as each address (victim_no_access_enable); the guess
+	// space gains an explicit "no access" guess (agE).
+	VictimNoAccess bool
+
+	// WindowSize is both the observation-history window and the episode
+	// length limit (window_size). Zero defaults to 4×NumBlocks+4.
+	WindowSize int
+
+	// Warmup is the number of random initialization accesses performed at
+	// episode start, drawn from the union of both address ranges
+	// (§VI-B). A negative value disables warm-up; zero defaults to
+	// NumBlocks.
+	Warmup int
+
+	// Rewards configures the reward signal; the zero value selects
+	// DefaultRewards.
+	Rewards Rewards
+
+	// Detector optionally screens the episode (detection_enable).
+	Detector detect.Detector
+	// TerminateOnDetect ends the episode with the detection penalty the
+	// moment the detector fires (the miss-based scheme in §V-D).
+	// Offline detectors (CC-Hunter, Cyclone) are instead consulted at
+	// episode end.
+	TerminateOnDetect bool
+	// DetectPenaltyCoef scales the detector's auxiliary penalty (the
+	// L2 autocorrelation penalty a·ΣCp²/P of §V-D); it should be <= 0.
+	DetectPenaltyCoef float64
+
+	// EpisodeSteps switches to multi-guess mode when positive: episodes
+	// run exactly this many steps, a guess scores and re-draws the
+	// secret instead of terminating (the 160-step episodes of §V-D).
+	EpisodeSteps int
+
+	// LockVictimLines pre-installs and locks every victim address at
+	// episode start, the PL-cache defense scenario of §V-D: the locked
+	// lines can never be evicted by the attacker, yet their replacement
+	// state still leaks. Requires a Target supporting Locker (the
+	// built-in simulator does).
+	LockVictimLines bool
+
+	// PreloadVictimLines pre-installs (without locking) every victim
+	// address at episode start. The miss-based detection study of §V-D
+	// needs it: the victim's line starts resident, so a victim miss is
+	// always the attacker's doing.
+	PreloadVictimLines bool
+
+	// Seed drives episode randomness (secret draws and warm-up).
+	Seed int64
+}
+
+// Validate reports the first structural problem with the configuration.
+func (c Config) Validate() error {
+	if c.Target == nil {
+		if err := c.Cache.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.AttackerHi < c.AttackerLo {
+		return fmt.Errorf("env: attacker address range [%d,%d] is empty", c.AttackerLo, c.AttackerHi)
+	}
+	if c.VictimHi < c.VictimLo {
+		return fmt.Errorf("env: victim address range [%d,%d] is empty", c.VictimLo, c.VictimHi)
+	}
+	if c.WindowSize < 0 {
+		return fmt.Errorf("env: negative window size %d", c.WindowSize)
+	}
+	if c.EpisodeSteps < 0 {
+		return fmt.Errorf("env: negative episode steps %d", c.EpisodeSteps)
+	}
+	if c.DetectPenaltyCoef > 0 {
+		return fmt.Errorf("env: DetectPenaltyCoef must be <= 0, got %v", c.DetectPenaltyCoef)
+	}
+	return nil
+}
+
+// Locker is the optional Target extension for PL-cache experiments.
+type Locker interface {
+	Lock(a cache.Addr, dom cache.Domain)
+}
+
+// simTarget adapts a single-level simulator to the Target interface.
+type simTarget struct{ c *cache.Cache }
+
+func (t simTarget) Access(a cache.Addr, dom cache.Domain) cache.Result { return t.c.Access(a, dom) }
+func (t simTarget) Flush(a cache.Addr) bool                            { return t.c.Flush(a) }
+func (t simTarget) SetOf(a cache.Addr) int                             { return t.c.SetOf(a) }
+func (t simTarget) Reset()                                             { t.c.Reset() }
+func (t simTarget) Lock(a cache.Addr, dom cache.Domain)                { t.c.Lock(a, dom) }
+
+// HierarchyTarget adapts a two-level hierarchy: the victim runs on core 0
+// and the attacker on core 1, as in Table IV configs 16-17.
+type HierarchyTarget struct{ H *cache.Hierarchy }
+
+// Access routes the request to the requesting domain's core.
+func (t HierarchyTarget) Access(a cache.Addr, dom cache.Domain) cache.Result {
+	core := 1
+	if dom == cache.DomainVictim {
+		core = 0
+	}
+	return t.H.Access(core, a, dom)
+}
+
+// Flush removes the line from every level.
+func (t HierarchyTarget) Flush(a cache.Addr) bool { return t.H.Flush(a) }
+
+// SetOf reports the shared L2 set index.
+func (t HierarchyTarget) SetOf(a cache.Addr) int { return t.H.L2().SetOf(a) }
+
+// Reset restores every level to the power-on state.
+func (t HierarchyTarget) Reset() { t.H.Reset() }

@@ -1,0 +1,402 @@
+package env
+
+import (
+	"fmt"
+	"math/rand"
+
+	"autocat/internal/cache"
+	"autocat/internal/detect"
+)
+
+// NoAccess is the sentinel secret meaning "the victim makes no access when
+// triggered" (the paper's addr_secret = E).
+const NoAccess cache.Addr = -1
+
+// latency observation categories (the S_lat subspace of §IV-C).
+const (
+	latNA = iota // no timing information for this step
+	latHit
+	latMiss
+)
+
+// TraceStep records one executed step for analysis, replay, and the
+// detectors' event trains.
+type TraceStep struct {
+	Action     int
+	Kind       ActionKind
+	Addr       cache.Addr // target address of access/flush/guess actions
+	Hit        bool       // attacker access outcome (valid for KindAccess)
+	Latency    int        // cycles charged to the step
+	Prefetched []cache.Addr
+	Reward     float64
+	GuessOK    bool // valid when Kind is KindGuess
+}
+
+// Env is one cache guessing game instance. It is not safe for concurrent
+// use; parallel RL actors each own an Env.
+type Env struct {
+	cfg     Config
+	target  Target
+	rng     *rand.Rand
+	actions actionTable
+
+	// episode state
+	secret    cache.Addr
+	triggered bool
+	steps     int
+	done      bool
+	guesses   int
+	hits      int // correct guesses this episode
+
+	window      int
+	history     []stepFeature
+	trace       []TraceStep
+	lastVerdict detect.Verdict
+	hasVerdict  bool
+}
+
+// stepFeature is the per-step observation record before numeric encoding.
+type stepFeature struct {
+	lat     int // latNA / latHit / latMiss
+	action  int // action index, -1 for empty history slots
+	stepIdx int
+	trig    bool
+}
+
+// New validates cfg and builds the environment.
+func New(cfg Config) (*Env, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Rewards == (Rewards{}) {
+		cfg.Rewards = DefaultRewards()
+	}
+	target := cfg.Target
+	if target == nil {
+		cc := cfg.Cache
+		if cc.AddrSpace == 0 {
+			hi := cfg.AttackerHi
+			if cfg.VictimHi > hi {
+				hi = cfg.VictimHi
+			}
+			cc.AddrSpace = int(hi) + 1
+		}
+		target = simTarget{c: cache.New(cc)}
+	}
+	window := cfg.WindowSize
+	if window == 0 {
+		blocks := cfg.Cache.NumBlocks
+		if blocks == 0 {
+			blocks = 4
+		}
+		window = 4*blocks + 4
+	}
+	e := &Env{
+		cfg:     cfg,
+		target:  target,
+		rng:     rand.New(rand.NewSource(cfg.Seed + 0xe11)),
+		actions: buildActions(cfg),
+		window:  window,
+	}
+	e.resetState()
+	return e, nil
+}
+
+// Config returns the environment's validated configuration.
+func (e *Env) Config() Config { return e.cfg }
+
+// NumActions returns the size of the discrete action space.
+func (e *Env) NumActions() int { return e.actions.total }
+
+// Window returns the observation window size W, which is also the episode
+// length limit in single-guess mode.
+func (e *Env) Window() int { return e.window }
+
+// FeatureDim returns the per-step feature width F.
+func (e *Env) FeatureDim() int {
+	// latency one-hot (3) + action one-hot (+1 "none") + step scalar +
+	// triggered flag.
+	return 3 + e.actions.total + 1 + 2
+}
+
+// ObsDim returns the flattened observation size W×F consumed by the MLP
+// backbone.
+func (e *Env) ObsDim() int { return e.window * e.FeatureDim() }
+
+// MaxSteps returns the episode length limit.
+func (e *Env) MaxSteps() int {
+	if e.cfg.EpisodeSteps > 0 {
+		return e.cfg.EpisodeSteps
+	}
+	return e.window
+}
+
+// Secret exposes the current episode's secret address (NoAccess when the
+// victim makes no access). Tests and scripted agents use it; the RL agent
+// of course never sees it.
+func (e *Env) Secret() cache.Addr { return e.secret }
+
+// ForceSecret overrides the current episode's secret. The brute-force
+// search baseline (§VI-A) uses it to check whether a candidate sequence
+// distinguishes every secret; it is not part of the attack surface.
+func (e *Env) ForceSecret(a cache.Addr) {
+	if a != NoAccess && (a < e.cfg.VictimLo || a > e.cfg.VictimHi) {
+		panic(fmt.Sprintf("env: secret %d outside victim range [%d,%d]", a, e.cfg.VictimLo, e.cfg.VictimHi))
+	}
+	if a == NoAccess && !e.cfg.VictimNoAccess {
+		panic("env: NoAccess secret requires VictimNoAccess")
+	}
+	e.secret = a
+}
+
+// Secrets enumerates every possible secret value for the configuration.
+func (e *Env) Secrets() []cache.Addr {
+	var out []cache.Addr
+	for a := e.cfg.VictimLo; a <= e.cfg.VictimHi; a++ {
+		out = append(out, a)
+	}
+	if e.cfg.VictimNoAccess {
+		out = append(out, NoAccess)
+	}
+	return out
+}
+
+// Trace returns the steps executed so far in the current episode.
+func (e *Env) Trace() []TraceStep { return e.trace }
+
+// EpisodeGuesses returns (correct, total) guesses in the current episode.
+func (e *Env) EpisodeGuesses() (correct, total int) { return e.hits, e.guesses }
+
+// resetState re-randomizes the secret, re-warms the cache, and clears the
+// observation history.
+func (e *Env) resetState() {
+	e.target.Reset()
+	if e.cfg.LockVictimLines {
+		locker, ok := e.target.(Locker)
+		if !ok {
+			panic("env: LockVictimLines requires a Target implementing Locker")
+		}
+		for a := e.cfg.VictimLo; a <= e.cfg.VictimHi; a++ {
+			locker.Lock(a, cache.DomainVictim)
+		}
+	}
+	if d := e.cfg.Detector; d != nil {
+		d.Reset()
+	}
+	e.lastVerdict, e.hasVerdict = detect.Verdict{}, false
+	e.drawSecret()
+	e.triggered = false
+	e.steps = 0
+	e.done = false
+	e.guesses, e.hits = 0, 0
+	e.trace = e.trace[:0]
+	e.history = e.history[:0]
+	e.warmup()
+	if e.cfg.PreloadVictimLines {
+		// Installed after warm-up so the lines are resident (though
+		// evictable) when the episode begins.
+		for a := e.cfg.VictimLo; a <= e.cfg.VictimHi; a++ {
+			e.target.Access(a, cache.DomainVictim)
+		}
+	}
+}
+
+// drawSecret samples a new secret uniformly from the victim's address range
+// plus (when enabled) the no-access outcome.
+func (e *Env) drawSecret() {
+	n := int(e.cfg.VictimHi - e.cfg.VictimLo + 1)
+	if e.cfg.VictimNoAccess {
+		n++
+	}
+	k := e.rng.Intn(n)
+	if e.cfg.VictimNoAccess && k == n-1 {
+		e.secret = NoAccess
+		return
+	}
+	e.secret = e.cfg.VictimLo + cache.Addr(k)
+}
+
+// warmup performs the random initialization accesses of §VI-B with the
+// unattributed domain so detectors see no cross-domain events.
+func (e *Env) warmup() {
+	n := e.cfg.Warmup
+	if n < 0 {
+		return
+	}
+	if n == 0 {
+		n = e.cfg.Cache.NumBlocks
+	}
+	lo, hi := e.cfg.AttackerLo, e.cfg.AttackerHi
+	if e.cfg.VictimLo < lo {
+		lo = e.cfg.VictimLo
+	}
+	if e.cfg.VictimHi > hi {
+		hi = e.cfg.VictimHi
+	}
+	span := int(hi - lo + 1)
+	for i := 0; i < n; i++ {
+		e.target.Access(lo+cache.Addr(e.rng.Intn(span)), cache.DomainNone)
+	}
+}
+
+// Reset starts a new episode and returns the initial observation.
+func (e *Env) Reset() []float64 {
+	e.resetState()
+	return e.Obs()
+}
+
+// Step executes one action. It returns the next observation, the reward,
+// and whether the episode ended. Calling Step on a finished episode panics;
+// the RL loop must Reset first.
+func (e *Env) Step(action int) (obs []float64, reward float64, done bool) {
+	if e.done {
+		panic("env: Step called on finished episode")
+	}
+	if action < 0 || action >= e.actions.total {
+		panic(fmt.Sprintf("env: action %d out of range [0,%d)", action, e.actions.total))
+	}
+	dec := e.actions.decode(action)
+	step := TraceStep{Action: action, Kind: dec.kind, Addr: dec.addr}
+	lat := latNA
+
+	switch dec.kind {
+	case KindAccess:
+		res := e.target.Access(dec.addr, cache.DomainAttacker)
+		step.Hit, step.Latency, step.Prefetched = res.Hit, res.Latency, res.Prefetched
+		if res.Hit {
+			lat = latHit
+		} else {
+			lat = latMiss
+		}
+		reward = e.cfg.Rewards.Step
+		e.record(detect.Access{
+			Dom: cache.DomainAttacker, Addr: dec.addr,
+			Set: e.target.SetOf(dec.addr), Hit: res.Hit, Evictions: res.Evictions,
+		})
+	case KindFlush:
+		e.target.Flush(dec.addr)
+		reward = e.cfg.Rewards.Step
+	case KindVictim:
+		reward = e.cfg.Rewards.Step
+		e.triggered = true
+		if e.secret != NoAccess {
+			res := e.target.Access(e.secret, cache.DomainVictim)
+			step.Latency = res.Latency
+			step.Hit = res.Hit // recorded for analysis; never observed by the agent
+			e.record(detect.Access{
+				Dom: cache.DomainVictim, Addr: e.secret,
+				Set: e.target.SetOf(e.secret), Hit: res.Hit, Evictions: res.Evictions,
+			})
+		}
+	case KindGuess, KindGuessNone:
+		e.guesses++
+		correct := (dec.kind == KindGuessNone && e.secret == NoAccess) ||
+			(dec.kind == KindGuess && e.secret == dec.addr)
+		step.GuessOK = correct
+		if correct {
+			e.hits++
+			reward = e.cfg.Rewards.CorrectGuess
+			lat = latHit // guess feedback (multi-guess episodes observe it)
+		} else {
+			reward = e.cfg.Rewards.WrongGuess
+			lat = latMiss
+		}
+		if e.cfg.EpisodeSteps > 0 {
+			// Multi-secret episode: draw the next secret and continue.
+			e.drawSecret()
+			e.triggered = false
+		} else {
+			e.done = true
+		}
+	}
+
+	e.steps++
+	e.history = append(e.history, stepFeature{lat: lat, action: action, stepIdx: e.steps, trig: e.triggered})
+	step.Reward = reward
+
+	// Online detection (the miss-based scheme terminates episodes).
+	if d := e.cfg.Detector; d != nil && e.cfg.TerminateOnDetect && d.Detected() && !e.done {
+		reward += e.cfg.Rewards.Detection
+		step.Reward = reward
+		e.done = true
+		e.lastVerdict, e.hasVerdict = detect.Verdict{Detected: true}, true
+	}
+
+	// Episode length limits.
+	if !e.done && e.steps >= e.MaxSteps() {
+		if e.cfg.EpisodeSteps > 0 {
+			e.done = true
+			if e.guesses == 0 {
+				reward += e.cfg.Rewards.NoGuess
+			}
+		} else {
+			reward += e.cfg.Rewards.LengthViolation
+			e.done = true
+		}
+		step.Reward = reward
+	}
+
+	// Offline end-of-episode screening (CC-Hunter, Cyclone).
+	if d := e.cfg.Detector; d != nil && e.done && !e.cfg.TerminateOnDetect {
+		v := d.Finalize()
+		if v.Detected {
+			reward += e.cfg.Rewards.Detection
+		}
+		reward += e.cfg.DetectPenaltyCoef * v.Penalty
+		step.Reward = reward
+		e.lastVerdict, e.hasVerdict = v, true
+	}
+
+	e.trace = append(e.trace, step)
+	return e.Obs(), reward, e.done
+}
+
+// Verdict returns the detector's end-of-episode verdict. The boolean is
+// false until the episode finishes (or, for online detectors, fires).
+func (e *Env) Verdict() (detect.Verdict, bool) { return e.lastVerdict, e.hasVerdict }
+
+// record forwards an access to the configured detector.
+func (e *Env) record(a detect.Access) {
+	if d := e.cfg.Detector; d != nil {
+		d.Record(a)
+	}
+}
+
+// Obs returns the flattened W×F observation: the most recent W steps,
+// newest first, zero-padded when the episode is younger than the window.
+func (e *Env) Obs() []float64 {
+	w, f := e.window, e.FeatureDim()
+	out := make([]float64, w*f)
+	for i := 0; i < w; i++ {
+		slot := out[i*f : (i+1)*f]
+		h := len(e.history) - 1 - i
+		if h < 0 {
+			// Empty slot: latency N.A., action "none".
+			slot[latNA] = 1
+			slot[3+e.actions.total] = 0
+			continue
+		}
+		sf := e.history[h]
+		slot[sf.lat] = 1
+		slot[3+sf.action] = 1
+		slot[3+e.actions.total] = float64(sf.stepIdx) / float64(e.MaxSteps())
+		if sf.trig {
+			slot[3+e.actions.total+1] = 1
+		} else {
+			slot[3+e.actions.total+2] = 1
+		}
+	}
+	return out
+}
+
+// SeqObs returns the observation as a W×F matrix (rows newest-first) for
+// the Transformer backbone.
+func (e *Env) SeqObs() [][]float64 {
+	flat := e.Obs()
+	f := e.FeatureDim()
+	out := make([][]float64, e.window)
+	for i := range out {
+		out[i] = flat[i*f : (i+1)*f]
+	}
+	return out
+}

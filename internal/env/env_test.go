@@ -1,0 +1,513 @@
+package env
+
+import (
+	"math/rand"
+	"testing"
+
+	"autocat/internal/cache"
+	"autocat/internal/detect"
+)
+
+// fa4Config is the paper's config-6-like setup: 4-way fully associative
+// set, victim accesses 0 or nothing, attacker shares addresses 0-3, flush
+// enabled.
+func fa4Config() Config {
+	return Config{
+		Cache:          cache.Config{NumBlocks: 4, NumWays: 4, Policy: cache.LRU},
+		AttackerLo:     0,
+		AttackerHi:     3,
+		VictimLo:       0,
+		VictimHi:       0,
+		FlushEnable:    true,
+		VictimNoAccess: true,
+		Seed:           1,
+	}
+}
+
+func mustEnv(t *testing.T, cfg Config) *Env {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := fa4Config()
+	bad.AttackerHi = -1
+	if _, err := New(bad); err == nil {
+		t.Fatal("empty attacker range should be rejected")
+	}
+	bad = fa4Config()
+	bad.VictimLo, bad.VictimHi = 3, 1
+	if _, err := New(bad); err == nil {
+		t.Fatal("empty victim range should be rejected")
+	}
+	bad = fa4Config()
+	bad.DetectPenaltyCoef = 0.5
+	if _, err := New(bad); err == nil {
+		t.Fatal("positive penalty coefficient should be rejected")
+	}
+	bad = fa4Config()
+	bad.Cache.NumBlocks = 3
+	bad.Cache.NumWays = 2
+	if _, err := New(bad); err == nil {
+		t.Fatal("invalid cache config should be rejected")
+	}
+}
+
+func TestActionSpaceLayout(t *testing.T) {
+	e := mustEnv(t, fa4Config())
+	// 4 accesses + 4 flushes + victim + 1 guess + guessE = 11.
+	if got := e.NumActions(); got != 11 {
+		t.Fatalf("NumActions = %d, want 11", got)
+	}
+	if k, a := e.DecodeAction(e.AccessAction(2)); k != KindAccess || a != 2 {
+		t.Fatalf("access decode: %v %v", k, a)
+	}
+	if k, a := e.DecodeAction(e.FlushAction(3)); k != KindFlush || a != 3 {
+		t.Fatalf("flush decode: %v %v", k, a)
+	}
+	if k, _ := e.DecodeAction(e.VictimAction()); k != KindVictim {
+		t.Fatalf("victim decode: %v", k)
+	}
+	if k, a := e.DecodeAction(e.GuessAction(0)); k != KindGuess || a != 0 {
+		t.Fatalf("guess decode: %v %v", k, a)
+	}
+	if k, _ := e.DecodeAction(e.GuessNoneAction()); k != KindGuessNone {
+		t.Fatalf("guessE decode: %v", k)
+	}
+}
+
+func TestActionSpaceWithoutFlushOrNoAccess(t *testing.T) {
+	cfg := fa4Config()
+	cfg.FlushEnable = false
+	cfg.VictimNoAccess = false
+	cfg.VictimHi = 3
+	e := mustEnv(t, cfg)
+	// 4 accesses + victim + 4 guesses = 9.
+	if got := e.NumActions(); got != 9 {
+		t.Fatalf("NumActions = %d, want 9", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FlushAction should panic when flush is disabled")
+		}
+	}()
+	e.FlushAction(0)
+}
+
+func TestCorrectAndWrongGuessRewards(t *testing.T) {
+	cfg := fa4Config()
+	cfg.Warmup = -1
+	e := mustEnv(t, cfg)
+	for i := 0; i < 50; i++ {
+		e.Reset()
+		secret := e.Secret()
+		var act int
+		if secret == NoAccess {
+			act = e.GuessNoneAction()
+		} else {
+			act = e.GuessAction(secret)
+		}
+		_, r, done := e.Step(act)
+		if !done {
+			t.Fatal("guess should end a single-guess episode")
+		}
+		if r != e.Config().Rewards.CorrectGuess {
+			t.Fatalf("correct guess reward = %v", r)
+		}
+		e.Reset()
+		var wrong int
+		if e.Secret() == NoAccess {
+			wrong = e.GuessAction(0)
+		} else {
+			wrong = e.GuessNoneAction()
+		}
+		_, r, done = e.Step(wrong)
+		if !done || r != e.Config().Rewards.WrongGuess {
+			t.Fatalf("wrong guess: done=%v reward=%v", done, r)
+		}
+	}
+}
+
+func TestStepPenaltyAndLatencyObservation(t *testing.T) {
+	cfg := fa4Config()
+	cfg.Warmup = -1 // cold cache: first access must miss
+	e := mustEnv(t, cfg)
+	e.Reset()
+	_, r, done := e.Step(e.AccessAction(1))
+	if done {
+		t.Fatal("access should not end the episode")
+	}
+	if r != cfg.Rewards.Step && r != DefaultRewards().Step {
+		t.Fatalf("step reward = %v", r)
+	}
+	tr := e.Trace()
+	if len(tr) != 1 || tr[0].Hit {
+		t.Fatalf("cold access should miss: %+v", tr)
+	}
+	_, _, _ = e.Step(e.AccessAction(1))
+	tr = e.Trace()
+	if !tr[1].Hit {
+		t.Fatalf("second access should hit: %+v", tr[1])
+	}
+}
+
+func TestVictimTriggerChangesState(t *testing.T) {
+	cfg := Config{
+		Cache:      cache.Config{NumBlocks: 1, NumWays: 1},
+		AttackerLo: 1, AttackerHi: 1,
+		VictimLo: 0, VictimHi: 0,
+		Warmup: -1,
+		Seed:   3,
+	}
+	e := mustEnv(t, cfg)
+	e.Reset()
+	// Prime with attacker address 1 (same set as 0 in a 1-line cache).
+	e.Step(e.AccessAction(1))
+	// Victim always accesses 0 here (no no-access option).
+	e.Step(e.VictimAction())
+	// Probe: must miss because the victim evicted us.
+	e.Step(e.AccessAction(1))
+	tr := e.Trace()
+	if tr[2].Hit {
+		t.Fatal("probe after victim eviction should miss")
+	}
+}
+
+func TestLengthViolationTerminates(t *testing.T) {
+	cfg := fa4Config()
+	cfg.WindowSize = 5
+	e := mustEnv(t, cfg)
+	e.Reset()
+	var done bool
+	var r float64
+	for i := 0; i < 5; i++ {
+		if done {
+			t.Fatalf("episode ended early at step %d", i)
+		}
+		_, r, done = e.Step(e.AccessAction(0))
+	}
+	if !done {
+		t.Fatal("episode should end at the window limit")
+	}
+	want := DefaultRewards().Step + DefaultRewards().LengthViolation
+	if r != want {
+		t.Fatalf("final reward = %v, want %v", r, want)
+	}
+}
+
+func TestStepAfterDonePanics(t *testing.T) {
+	e := mustEnv(t, fa4Config())
+	e.Reset()
+	e.Step(e.GuessAction(0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Step after done should panic")
+		}
+	}()
+	e.Step(e.AccessAction(0))
+}
+
+func TestObsShapeAndWindow(t *testing.T) {
+	e := mustEnv(t, fa4Config())
+	obs := e.Reset()
+	if len(obs) != e.ObsDim() {
+		t.Fatalf("obs len = %d, want %d", len(obs), e.ObsDim())
+	}
+	if e.ObsDim() != e.Window()*e.FeatureDim() {
+		t.Fatal("ObsDim must equal Window×FeatureDim")
+	}
+	// Initial observation: every slot is an empty-history slot with the
+	// N.A. latency marker set.
+	f := e.FeatureDim()
+	for i := 0; i < e.Window(); i++ {
+		if obs[i*f+latNA] != 1 {
+			t.Fatalf("slot %d should be N.A. before any step", i)
+		}
+	}
+	obs, _, _ = e.Step(e.AccessAction(2))
+	// Newest-first: slot 0 now describes the access (miss expected with
+	// default warmup it may hit; just check the action one-hot).
+	actOff := 3 + e.AccessAction(2)
+	if obs[actOff] != 1 {
+		t.Fatal("slot 0 should one-hot encode the last action")
+	}
+	seq := e.SeqObs()
+	if len(seq) != e.Window() || len(seq[0]) != f {
+		t.Fatalf("SeqObs shape = %dx%d", len(seq), len(seq[0]))
+	}
+}
+
+func TestTriggeredFlagInObservation(t *testing.T) {
+	e := mustEnv(t, fa4Config())
+	e.Reset()
+	f := e.FeatureDim()
+	trigOff := 3 + e.NumActions() + 1
+	obs, _, _ := e.Step(e.AccessAction(0))
+	if obs[trigOff] != 0 {
+		t.Fatal("victim should not be marked triggered yet")
+	}
+	obs, _, _ = e.Step(e.VictimAction())
+	if obs[trigOff] != 1 {
+		t.Fatal("victim trigger must set the triggered flag")
+	}
+	// The previous slot (older step) keeps its historical flag.
+	if obs[f+trigOff] != 0 {
+		t.Fatal("history slots must keep their step-time triggered flag")
+	}
+}
+
+func TestSecretDistributionCoversNoAccess(t *testing.T) {
+	cfg := fa4Config()
+	cfg.VictimHi = 1 // secrets: 0, 1, NoAccess
+	e := mustEnv(t, cfg)
+	counts := map[cache.Addr]int{}
+	for i := 0; i < 600; i++ {
+		e.Reset()
+		counts[e.Secret()]++
+	}
+	for _, s := range []cache.Addr{0, 1, NoAccess} {
+		if counts[s] < 120 {
+			t.Fatalf("secret %d drawn only %d/600 times; distribution %v", s, counts[s], counts)
+		}
+	}
+}
+
+func TestMultiGuessEpisode(t *testing.T) {
+	cfg := fa4Config()
+	cfg.EpisodeSteps = 12
+	cfg.Warmup = -1
+	e := mustEnv(t, cfg)
+	e.Reset()
+	steps := 0
+	done := false
+	for !done {
+		var r float64
+		secret := e.Secret()
+		act := e.GuessNoneAction()
+		if secret != NoAccess {
+			act = e.GuessAction(secret)
+		}
+		_, r, done = e.Step(act)
+		steps++
+		if r < DefaultRewards().CorrectGuess-0.001 && !done {
+			t.Fatalf("oracle guess should earn the correct reward, got %v", r)
+		}
+	}
+	if steps != 12 {
+		t.Fatalf("multi-guess episode ran %d steps, want 12", steps)
+	}
+	correct, total := e.EpisodeGuesses()
+	if total != 12 || correct != 12 {
+		t.Fatalf("oracle agent: %d/%d correct", correct, total)
+	}
+}
+
+func TestMultiGuessNoGuessPenalty(t *testing.T) {
+	cfg := fa4Config()
+	cfg.EpisodeSteps = 4
+	e := mustEnv(t, cfg)
+	e.Reset()
+	var r float64
+	var done bool
+	for i := 0; i < 4; i++ {
+		_, r, done = e.Step(e.AccessAction(0))
+	}
+	if !done {
+		t.Fatal("episode should end after EpisodeSteps")
+	}
+	want := DefaultRewards().Step + DefaultRewards().NoGuess
+	if r != want {
+		t.Fatalf("guess-free episode final reward = %v, want %v", r, want)
+	}
+}
+
+func TestMultiGuessRedrawsSecret(t *testing.T) {
+	cfg := fa4Config()
+	cfg.VictimHi = 3
+	cfg.EpisodeSteps = 64
+	e := mustEnv(t, cfg)
+	e.Reset()
+	seen := map[cache.Addr]bool{}
+	done := false
+	for !done {
+		seen[e.Secret()] = true
+		_, _, done = e.Step(e.GuessAction(0))
+	}
+	if len(seen) < 3 {
+		t.Fatalf("secret should be redrawn after each guess, saw only %v", seen)
+	}
+}
+
+func TestMissBasedDetectionTerminates(t *testing.T) {
+	cfg := Config{
+		Cache:      cache.Config{NumBlocks: 1, NumWays: 1},
+		AttackerLo: 1, AttackerHi: 1,
+		VictimLo: 0, VictimHi: 0,
+		Warmup:            -1,
+		Detector:          detect.NewMissBased(),
+		TerminateOnDetect: true,
+		Seed:              5,
+	}
+	e := mustEnv(t, cfg)
+	e.Reset()
+	// Evict the victim's line, then trigger it: the victim misses and
+	// the detector must fire.
+	e.Step(e.AccessAction(1))
+	_, r, done := e.Step(e.VictimAction())
+	if !done {
+		t.Fatal("miss-based detection should terminate the episode")
+	}
+	want := DefaultRewards().Step + DefaultRewards().Detection
+	if r != want {
+		t.Fatalf("detection reward = %v, want %v", r, want)
+	}
+}
+
+func TestMissBasedDetectionAllowsStealthyEpisode(t *testing.T) {
+	cfg := Config{
+		Cache:      cache.Config{NumBlocks: 4, NumWays: 4, Policy: cache.LRU},
+		AttackerLo: 1, AttackerHi: 3,
+		VictimLo: 0, VictimHi: 0,
+		VictimNoAccess:    true,
+		Warmup:            -1,
+		Detector:          detect.NewMissBased(),
+		TerminateOnDetect: true,
+		Seed:              5,
+	}
+	e := mustEnv(t, cfg)
+	for i := 0; i < 20; i++ {
+		e.Reset()
+		// Preload the victim's line so its access always hits.
+		// (Here the attacker cannot touch addr 0, so we emulate the PL
+		// scenario by accessing only partial fill.)
+		_, _, done := e.Step(e.AccessAction(1))
+		if done {
+			t.Fatal("no detection expected")
+		}
+		_, _, done = e.Step(e.AccessAction(2))
+		if done {
+			t.Fatal("no detection expected")
+		}
+		// Trigger: the victim's access to 0 may miss (cold) — only
+		// checking that hit-episodes survive.
+		_, _, done = e.Step(e.VictimAction())
+		if e.Secret() == NoAccess && done {
+			t.Fatal("no-access victim cannot miss; detector must stay quiet")
+		}
+		if !done {
+			e.Step(e.GuessAction(0))
+		}
+	}
+}
+
+func TestCCHunterPenaltyApplied(t *testing.T) {
+	det := detect.NewCCHunter()
+	cfg := Config{
+		Cache:      cache.Config{NumBlocks: 4, NumWays: 1},
+		AttackerLo: 4, AttackerHi: 7,
+		VictimLo: 0, VictimHi: 3,
+		EpisodeSteps:      40,
+		Warmup:            -1,
+		Detector:          det,
+		DetectPenaltyCoef: -1,
+		Seed:              7,
+	}
+	e := mustEnv(t, cfg)
+	e.Reset()
+	// Run a periodic prime+probe-style loop to build a periodic event
+	// train.
+	done := false
+	rng := rand.New(rand.NewSource(1))
+	for !done {
+		for a := cache.Addr(4); a <= 7 && !done; a++ {
+			_, _, done = e.Step(e.AccessAction(a))
+		}
+		if !done {
+			_, _, done = e.Step(e.VictimAction())
+		}
+		if !done {
+			_, _, done = e.Step(e.GuessAction(cache.Addr(rng.Intn(4))))
+		}
+	}
+	// The final reward must include the (negative) penalty: replaying
+	// the same policy without a detector yields a strictly higher final
+	// reward. We simply check that the detector accumulated events and a
+	// positive penalty.
+	if v := det.Finalize(); v.Penalty <= 0 {
+		t.Fatalf("periodic attack should accumulate autocorrelation penalty, got %+v", v)
+	}
+}
+
+func TestHierarchyTargetCrossCoreChannel(t *testing.T) {
+	h := cache.NewHierarchy(cache.HierarchyConfig{
+		Cores: 2,
+		L1:    cache.Config{NumBlocks: 4, NumWays: 1},
+		L2:    cache.Config{NumBlocks: 8, NumWays: 2},
+	})
+	cfg := Config{
+		Target:     HierarchyTarget{H: h},
+		AttackerLo: 4, AttackerHi: 11,
+		VictimLo: 0, VictimHi: 3,
+		Warmup: -1,
+		Seed:   9,
+	}
+	e := mustEnv(t, cfg)
+	e.Reset()
+	// Prime the L2 set of the secret address cross-core, trigger, probe.
+	// L2 has 4 sets; attacker addresses 4..11 cover each set twice.
+	for a := cache.Addr(4); a <= 11; a++ {
+		e.Step(e.AccessAction(a))
+	}
+	e.Step(e.VictimAction())
+	missSet := -1
+	for a := cache.Addr(4); a <= 11; a++ {
+		_, _, _ = e.Step(e.AccessAction(a))
+		tr := e.Trace()
+		if !tr[len(tr)-1].Hit {
+			missSet = int(a) % 4
+			break
+		}
+	}
+	if missSet == -1 {
+		t.Fatal("victim access should evict one attacker line from the shared L2")
+	}
+	if want := int(e.Secret()) % 4; missSet != want {
+		t.Fatalf("probe miss in set %d, want secret set %d", missSet, want)
+	}
+}
+
+func TestTraceFormatting(t *testing.T) {
+	e := mustEnv(t, fa4Config())
+	e.Reset()
+	acts := []int{e.AccessAction(3), e.FlushAction(0), e.VictimAction(), e.GuessAction(0)}
+	if got, want := e.FormatTrace(acts), "3→f0→v→g0"; got != want {
+		t.Fatalf("FormatTrace = %q, want %q", got, want)
+	}
+	if got := e.ActionString(e.GuessNoneAction()); got != "gE" {
+		t.Fatalf("gE renders as %q", got)
+	}
+}
+
+func TestDeterministicEpisodesPerSeed(t *testing.T) {
+	run := func(seed int64) []cache.Addr {
+		cfg := fa4Config()
+		cfg.Seed = seed
+		e := mustEnv(t, cfg)
+		var secrets []cache.Addr
+		for i := 0; i < 10; i++ {
+			e.Reset()
+			secrets = append(secrets, e.Secret())
+		}
+		return secrets
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give the same secret stream")
+		}
+	}
+}

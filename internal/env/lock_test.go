@@ -1,0 +1,119 @@
+package env
+
+import (
+	"testing"
+
+	"autocat/internal/cache"
+)
+
+// plCacheConfig is the Table VII setting: a 4-way PLRU set with the
+// victim's line pre-installed and locked.
+func plCacheConfig(seed int64) Config {
+	return Config{
+		Cache:      cache.Config{NumBlocks: 4, NumWays: 4, Policy: cache.PLRU},
+		AttackerLo: 1, AttackerHi: 5,
+		VictimLo: 0, VictimHi: 0,
+		VictimNoAccess:  true,
+		LockVictimLines: true,
+		WindowSize:      14,
+		Seed:            seed,
+	}
+}
+
+func TestLockVictimLinesSurvivesThrashing(t *testing.T) {
+	e := mustEnv(t, plCacheConfig(1))
+	for trial := 0; trial < 10; trial++ {
+		e.Reset()
+		// Thrash the set with every attacker address, twice over.
+		for round := 0; round < 2; round++ {
+			for a := cache.Addr(1); a <= 5; a++ {
+				if _, _, done := e.Step(e.AccessAction(a)); done {
+					break
+				}
+			}
+		}
+		// The victim's access must always hit: its line is locked.
+		if e.Secret() != NoAccess {
+			_, _, _ = e.Step(e.VictimAction())
+			tr := e.Trace()
+			last := tr[len(tr)-1]
+			if last.Kind != KindVictim {
+				t.Fatal("expected victim step")
+			}
+			if !last.Hit {
+				t.Fatal("locked victim line was evicted (PL cache violated)")
+			}
+		}
+	}
+}
+
+func TestLockVictimLinesStillLeaksViaPLRUState(t *testing.T) {
+	// The PL-cache leak of §V-D: even with the victim's line locked, its
+	// access flips PLRU bits, so a subsequent attacker fill pattern
+	// differs between the two secrets. Demonstrate that some fixed probe
+	// sequence distinguishes the secrets.
+	cfg := plCacheConfig(3)
+	cfg.Warmup = -1
+	e := mustEnv(t, cfg)
+
+	run := func(secret cache.Addr) []bool {
+		e.Reset()
+		e.ForceSecret(secret)
+		// Fill three ways (0 is locked in one way), trigger, then
+		// observe which new fills hit/miss.
+		var obs []bool
+		for _, a := range []cache.Addr{1, 2, 3} {
+			e.Step(e.AccessAction(a))
+		}
+		e.Step(e.VictimAction())
+		for _, a := range []cache.Addr{4, 1, 2, 3} {
+			e.Step(e.AccessAction(a))
+			tr := e.Trace()
+			obs = append(obs, tr[len(tr)-1].Hit)
+		}
+		return obs
+	}
+	withAccess := run(0)
+	withoutAccess := run(NoAccess)
+	same := true
+	for i := range withAccess {
+		if withAccess[i] != withoutAccess[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("PL-cache PLRU state leak not observable: %v vs %v", withAccess, withoutAccess)
+	}
+}
+
+func TestLockVictimLinesRequiresLocker(t *testing.T) {
+	h := cache.NewHierarchy(cache.HierarchyConfig{
+		Cores: 2,
+		L1:    cache.Config{NumBlocks: 4, NumWays: 1},
+		L2:    cache.Config{NumBlocks: 8, NumWays: 2},
+	})
+	cfg := Config{
+		Target:          HierarchyTarget{H: h},
+		AttackerLo:      4,
+		AttackerHi:      7,
+		VictimLo:        0,
+		VictimHi:        0,
+		LockVictimLines: true,
+		Seed:            5,
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LockVictimLines on a non-Locker target should panic")
+		}
+	}()
+	_, _ = New(cfg)
+}
+
+func TestVerdictLifecycle(t *testing.T) {
+	cfg := fa4Config()
+	e := mustEnv(t, cfg)
+	e.Reset()
+	if _, ok := e.Verdict(); ok {
+		t.Fatal("no verdict expected before the episode ends (no detector)")
+	}
+}

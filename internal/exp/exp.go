@@ -1,0 +1,357 @@
+// Package exp contains the benchmark harnesses that regenerate every
+// table and figure of the paper's evaluation section (§V). Each function
+// runs the experiment and prints paper-style rows to the configured
+// writer; EXPERIMENTS.md records paper-vs-measured values from a full run.
+//
+// Scale controls the training budget: 1.0 is the full configuration used
+// for EXPERIMENTS.md, smaller values shrink epoch budgets proportionally
+// (the `go test -bench` harness uses reduced budgets so a complete bench
+// run stays tractable on a laptop).
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"autocat/internal/agents"
+	"autocat/internal/cache"
+	"autocat/internal/core"
+	"autocat/internal/detect"
+	"autocat/internal/env"
+	"autocat/internal/hw"
+	"autocat/internal/rl"
+)
+
+// Options configures one experiment run.
+type Options struct {
+	// W receives the formatted rows. Required.
+	W io.Writer
+	// Scale multiplies epoch budgets; 1.0 = full run. Default 1.0.
+	Scale float64
+	// Runs is the replicate count for tables the paper averages over
+	// three training runs. Default 1.
+	Runs int
+	// Seed is the base seed.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.W == nil {
+		o.W = io.Discard
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Runs <= 0 {
+		o.Runs = 1
+	}
+	return o
+}
+
+func (o Options) epochs(full int) int {
+	e := int(float64(full) * o.Scale)
+	if e < 10 {
+		e = 10
+	}
+	return e
+}
+
+// standardPPO returns the tuned exploration schedule used across the
+// experiments: entropy and ε-uniform mixing annealed over the first half
+// of the budget.
+func standardPPO(maxEpochs int, seed int64) rl.PPOConfig {
+	return rl.PPOConfig{
+		StepsPerEpoch:   3000,
+		MaxEpochs:       maxEpochs,
+		EntAnnealEpochs: maxEpochs / 2,
+		ExploreEps:      0.35,
+		Seed:            seed,
+	}
+}
+
+// TableIII trains the agent against simulated black-box machines (the
+// CacheQuery substitute) and prints the found attacks. At Scale < 1 only
+// the 4-way rows run (the 8-way rows are the paper's multi-hour
+// trainings).
+func TableIII(o Options) {
+	o = o.withDefaults()
+	fmt.Fprintln(o.W, "Table III: attack sequences found on (simulated) real hardware")
+	fmt.Fprintf(o.W, "%-26s %-5s %4s %-6s | %-9s %8s  %s\n",
+		"CPU", "Level", "Ways", "Policy", "Converged", "Accuracy", "Attack sequence (category)")
+	specs := hw.SmallSpecs()
+	if o.Scale >= 1 {
+		specs = hw.Table3Specs()
+	} else if len(specs) > 2 {
+		specs = specs[:2] // keep the bench harness tractable
+	}
+	for i, spec := range specs {
+		spec := spec
+		maxEpochs := o.epochs(250)
+		if spec.Ways > 4 {
+			maxEpochs = o.epochs(600)
+		}
+		ppo := standardPPO(maxEpochs, o.Seed+int64(i))
+		ppo.TargetAccuracy = 0.95 // noise bounds accuracy below 1.0
+		// The paper uses a smaller step penalty on real hardware (§IV-C).
+		rw := env.DefaultRewards()
+		rw.Step = -0.005
+		res, err := core.Explore(core.Config{
+			Env: env.Config{
+				AttackerLo: 0, AttackerHi: cache.Addr(spec.AttackerAddrs - 1),
+				VictimLo: 0, VictimHi: 0,
+				VictimNoAccess: true,
+				WindowSize:     4 * spec.Ways,
+				Warmup:         spec.Ways,
+				Rewards:        rw,
+				Seed:           o.Seed + int64(i),
+			},
+			TargetFactory: func(j int) (env.Target, error) {
+				return hw.NewBlackBox(spec, o.Seed+int64(i)*100+int64(j))
+			},
+			PPO: ppo,
+		})
+		if err != nil {
+			fmt.Fprintf(o.W, "  %s %s: error: %v\n", spec.CPU, spec.Level, err)
+			continue
+		}
+		fmt.Fprintf(o.W, "%-26s %-5s %4d %-6s | %-9v %8.3f  %s (%s)\n",
+			spec.CPU, spec.Level, spec.Ways, spec.Policy,
+			res.Train.Converged, res.Eval.Accuracy, res.Sequence, res.Category)
+	}
+}
+
+// table4Config describes one Table IV row.
+type table4Config struct {
+	No       int
+	Desc     string
+	Expected string
+	Env      env.Config
+	Epochs   int // full-scale epoch budget
+}
+
+// Table4Configs returns the Table IV environment rows implemented by this
+// reproduction. Rows 2, 13, 14 add prefetchers; rows 16-17 use the
+// two-level hierarchy.
+func Table4Configs(seed int64) []table4Config {
+	dm4 := cache.Config{NumBlocks: 4, NumWays: 1, Policy: cache.LRU}
+	fa4 := cache.Config{NumBlocks: 4, NumWays: 4, Policy: cache.LRU}
+	fa8 := cache.Config{NumBlocks: 8, NumWays: 8, Policy: cache.LRU}
+	rows := []table4Config{
+		{No: 1, Desc: "DM 4-set, victim 0-3, attacker 4-7", Expected: "PP",
+			Env: env.Config{Cache: dm4, AttackerLo: 4, AttackerHi: 7, VictimLo: 0, VictimHi: 3, WindowSize: 20}, Epochs: 200},
+		{No: 2, Desc: "DM 4-set + next-line prefetch", Expected: "PP",
+			Env: env.Config{Cache: func() cache.Config { c := dm4; c.Prefetcher = cache.NextLine; c.AddrSpace = 8; return c }(),
+				AttackerLo: 4, AttackerHi: 7, VictimLo: 0, VictimHi: 3, WindowSize: 20}, Epochs: 250},
+		{No: 3, Desc: "DM 4-set, shared 0-3, flush", Expected: "FR",
+			Env: env.Config{Cache: dm4, AttackerLo: 0, AttackerHi: 3, VictimLo: 0, VictimHi: 3, FlushEnable: true, WindowSize: 20}, Epochs: 200},
+		{No: 4, Desc: "DM 4-set, victim 0-3, attacker 0-7", Expected: "ER+PP",
+			Env: env.Config{Cache: dm4, AttackerLo: 0, AttackerHi: 7, VictimLo: 0, VictimHi: 3, WindowSize: 20}, Epochs: 250},
+		{No: 5, Desc: "FA 4-way, victim 0/E, attacker 4-7", Expected: "PP/LRU",
+			Env: env.Config{Cache: fa4, AttackerLo: 4, AttackerHi: 7, VictimLo: 0, VictimHi: 0, VictimNoAccess: true, WindowSize: 12}, Epochs: 120},
+		{No: 6, Desc: "FA 4-way, victim 0/E, shared 0-3, flush", Expected: "FR/LRU",
+			Env: env.Config{Cache: fa4, AttackerLo: 0, AttackerHi: 3, VictimLo: 0, VictimHi: 0, FlushEnable: true, VictimNoAccess: true, WindowSize: 10}, Epochs: 100},
+		{No: 7, Desc: "FA 4-way, victim 0/E, attacker 0-7", Expected: "ER/PP/LRU",
+			Env: env.Config{Cache: fa4, AttackerLo: 0, AttackerHi: 7, VictimLo: 0, VictimHi: 0, VictimNoAccess: true, WindowSize: 12}, Epochs: 150},
+		{No: 8, Desc: "FA 4-way, victim 0-3, shared, flush", Expected: "FR/LRU",
+			Env: env.Config{Cache: fa4, AttackerLo: 0, AttackerHi: 3, VictimLo: 0, VictimHi: 3, FlushEnable: true, WindowSize: 20}, Epochs: 250},
+		{No: 11, Desc: "FA 8-way, victim 0/E, shared 0-7, flush", Expected: "FR/LRU",
+			Env: env.Config{Cache: fa8, AttackerLo: 0, AttackerHi: 7, VictimLo: 0, VictimHi: 0, FlushEnable: true, VictimNoAccess: true, WindowSize: 14}, Epochs: 200},
+		{No: 12, Desc: "FA 8-way, victim 0/E, attacker 0-15", Expected: "ER/PP/LRU",
+			Env: env.Config{Cache: fa8, AttackerLo: 0, AttackerHi: 15, VictimLo: 0, VictimHi: 0, VictimNoAccess: true, WindowSize: 18}, Epochs: 300},
+		{No: 15, Desc: "SA 2-way 4-set, victim 0-3, attacker 4-11", Expected: "PP",
+			Env: env.Config{Cache: cache.Config{NumBlocks: 8, NumWays: 2, Policy: cache.LRU},
+				AttackerLo: 4, AttackerHi: 11, VictimLo: 0, VictimHi: 3, WindowSize: 28}, Epochs: 300},
+	}
+	for i := range rows {
+		rows[i].Env.Seed = seed + int64(rows[i].No)*131
+	}
+	return rows
+}
+
+// benchTable4Rows lists the row numbers run at reduced scale.
+var benchTable4Rows = map[int]bool{1: true, 3: true, 5: true, 6: true, 7: true}
+
+// TableIV trains the agent on the simulator configuration matrix and
+// prints found attacks plus their automatic classification. At Scale < 1
+// a representative subset runs (configs 1, 3, 5, 6, 7 — one per expected
+// category).
+func TableIV(o Options) {
+	o = o.withDefaults()
+	fmt.Fprintln(o.W, "Table IV: attacks found across cache / attacker / victim configurations")
+	fmt.Fprintf(o.W, "%-3s %-42s %-10s | %-9s %8s  %s\n",
+		"No", "Configuration", "Expected", "Converged", "Accuracy", "Attack found (category)")
+	for _, row := range Table4Configs(o.Seed) {
+		if o.Scale < 1 && !benchTable4Rows[row.No] {
+			continue
+		}
+		res, err := core.Explore(core.Config{
+			Env: row.Env,
+			PPO: standardPPO(o.epochs(row.Epochs), row.Env.Seed),
+		})
+		if err != nil {
+			fmt.Fprintf(o.W, "%-3d error: %v\n", row.No, err)
+			continue
+		}
+		fmt.Fprintf(o.W, "%-3d %-42s %-10s | %-9v %8.3f  %s (%s)\n",
+			row.No, row.Desc, row.Expected,
+			res.Train.Converged, res.Eval.Accuracy, res.Sequence, res.Category)
+	}
+}
+
+// TableV trains on the three deterministic replacement policies and
+// reports epochs-to-converge and final episode length, averaged over
+// Options.Runs training runs (the paper averages three).
+func TableV(o Options) {
+	o = o.withDefaults()
+	fmt.Fprintln(o.W, "Table V: RL training statistics per replacement policy (victim 0/E, attacker 0-4)")
+	fmt.Fprintf(o.W, "%-6s | %-18s %-14s %s\n", "Policy", "Epochs to converge", "Episode length", "Attack found")
+	budgets := map[cache.PolicyKind]int{cache.LRU: 120, cache.PLRU: 120, cache.RRIP: 300}
+	for _, pol := range []cache.PolicyKind{cache.LRU, cache.PLRU, cache.RRIP} {
+		sumEpochs, sumLen := 0.0, 0.0
+		lastSeq := ""
+		converged := 0
+		for run := 0; run < o.Runs; run++ {
+			seed := o.Seed + int64(run)*1009 + int64(len(pol))
+			res, err := core.Explore(core.Config{
+				Env: env.Config{
+					Cache:      cache.Config{NumBlocks: 4, NumWays: 4, Policy: pol},
+					AttackerLo: 0, AttackerHi: 4,
+					VictimLo: 0, VictimHi: 0,
+					VictimNoAccess: true,
+					WindowSize:     16,
+					Seed:           seed,
+				},
+				PPO: standardPPO(o.epochs(budgets[pol]), seed),
+			})
+			if err != nil {
+				fmt.Fprintf(o.W, "%-6s | error: %v\n", pol, err)
+				return
+			}
+			if res.Train.Converged {
+				converged++
+				sumEpochs += float64(res.Train.EpochsToConverge)
+			} else {
+				sumEpochs += float64(res.Train.Epochs)
+			}
+			sumLen += res.Eval.MeanLength
+			lastSeq = res.Sequence
+		}
+		n := float64(o.Runs)
+		fmt.Fprintf(o.W, "%-6s | %-18.1f %-14.1f %s (converged %d/%d)\n",
+			pol, sumEpochs/n, sumLen/n, lastSeq, converged, o.Runs)
+	}
+	fmt.Fprintln(o.W, "expected shape: RRIP needs more epochs and a longer sequence than LRU/PLRU")
+}
+
+// TableVI trains on the random replacement policy under three step
+// rewards and reports the accuracy/length tradeoff.
+func TableVI(o Options) {
+	o = o.withDefaults()
+	fmt.Fprintln(o.W, "Table VI: random replacement policy, step-reward sweep")
+	fmt.Fprintf(o.W, "%-12s | %-12s %s\n", "Step reward", "End accuracy", "Episode length")
+	for i, stepReward := range []float64{-0.02, -0.01, -0.005} {
+		rw := env.DefaultRewards()
+		rw.Step = stepReward
+		seed := o.Seed + int64(i)*211
+		ppo := standardPPO(o.epochs(80), seed)
+		// The random policy admits no perfect attack; train a fixed
+		// budget and report where the policy lands.
+		ppo.TargetAccuracy = 2 // unreachable: always run the full budget
+		res, err := core.Explore(core.Config{
+			Env: env.Config{
+				Cache:      cache.Config{NumBlocks: 4, NumWays: 4, Policy: cache.Random},
+				AttackerLo: 1, AttackerHi: 4,
+				VictimLo: 0, VictimHi: 0,
+				VictimNoAccess: true,
+				WindowSize:     24,
+				Rewards:        rw,
+				Seed:           seed,
+			},
+			PPO: ppo,
+		})
+		if err != nil {
+			fmt.Fprintf(o.W, "%v | error: %v\n", stepReward, err)
+			continue
+		}
+		fmt.Fprintf(o.W, "%-12v | %-12.3f %.2f\n", stepReward, res.Eval.Accuracy, res.Eval.MeanLength)
+	}
+	fmt.Fprintln(o.W, "expected shape: larger |step reward| → shorter episodes and lower accuracy")
+}
+
+// TableVII compares training against a PLRU cache with and without the
+// PL-cache defense (victim line locked).
+func TableVII(o Options) {
+	o = o.withDefaults()
+	fmt.Fprintln(o.W, "Table VII: PLRU with and without the PL cache (victim line locked)")
+	fmt.Fprintf(o.W, "%-9s | %-18s %-14s %s\n", "Cache", "Epochs to converge", "Episode length", "Attack found")
+	for _, plcache := range []bool{false, true} {
+		name := "Baseline"
+		budget := 120
+		if plcache {
+			name = "PL Cache"
+			budget = 250
+		}
+		sumEpochs, sumLen := 0.0, 0.0
+		lastSeq := ""
+		converged := 0
+		for run := 0; run < o.Runs; run++ {
+			seed := o.Seed + int64(run)*401
+			if plcache {
+				seed += 7
+			}
+			res, err := core.Explore(core.Config{
+				Env: env.Config{
+					Cache:      cache.Config{NumBlocks: 4, NumWays: 4, Policy: cache.PLRU},
+					AttackerLo: 1, AttackerHi: 5,
+					VictimLo: 0, VictimHi: 0,
+					VictimNoAccess:  true,
+					LockVictimLines: plcache,
+					WindowSize:      14,
+					Seed:            seed,
+				},
+				PPO: standardPPO(o.epochs(budget), seed),
+			})
+			if err != nil {
+				fmt.Fprintf(o.W, "%s | error: %v\n", name, err)
+				return
+			}
+			if res.Train.Converged {
+				converged++
+				sumEpochs += float64(res.Train.EpochsToConverge)
+			} else {
+				sumEpochs += float64(res.Train.Epochs)
+			}
+			sumLen += res.Eval.MeanLength
+			lastSeq = res.Sequence
+		}
+		n := float64(o.Runs)
+		fmt.Fprintf(o.W, "%-9s | %-18.1f %-14.1f %s (converged %d/%d)\n",
+			name, sumEpochs/n, sumLen/n, lastSeq, converged, o.Runs)
+	}
+	fmt.Fprintln(o.W, "expected shape: the PL cache takes more epochs, yet an attack is still found")
+}
+
+// scriptedWithDetector plays n scripted episodes collecting detector
+// verdicts and statistics.
+func scriptedWithDetector(e *env.Env, a agents.Agent, n int) (res agents.Result, detected int, verdicts []detect.Verdict) {
+	for i := 0; i < n; i++ {
+		e.Reset()
+		a.Reset()
+		done := false
+		for !done {
+			_, _, done = e.Step(a.Act(e))
+		}
+		c, g := e.EpisodeGuesses()
+		res.Episodes++
+		res.Steps += len(e.Trace())
+		res.Guesses += g
+		res.Correct += c
+		if v, ok := e.Verdict(); ok {
+			verdicts = append(verdicts, v)
+			if v.Detected {
+				detected++
+			}
+		}
+	}
+	return res, detected, verdicts
+}

@@ -1,0 +1,457 @@
+package exp
+
+import (
+	"fmt"
+
+	"autocat/internal/agents"
+	"autocat/internal/cache"
+	"autocat/internal/core"
+	"autocat/internal/covert"
+	"autocat/internal/detect"
+	"autocat/internal/env"
+	"autocat/internal/nn"
+	"autocat/internal/rl"
+	"autocat/internal/search"
+	"autocat/internal/stats"
+	"autocat/internal/trace"
+)
+
+// detectorEnv returns the multi-guess environment of the §V-D case
+// studies. At full scale it is the paper's setup scaled to the CPU budget:
+// a 4-set direct-mapped cache, two victim addresses (0-1), two attacker
+// addresses (4-5), fixed-length episodes.
+func detectorEnv(seed int64, det detect.Detector, penaltyCoef float64, episodeSteps int) env.Config {
+	return env.Config{
+		Cache:      cache.Config{NumBlocks: 4, NumWays: 1, Policy: cache.LRU},
+		AttackerLo: 4, AttackerHi: 5,
+		VictimLo: 0, VictimHi: 1,
+		EpisodeSteps:      episodeSteps,
+		WindowSize:        16,
+		Detector:          det,
+		DetectPenaltyCoef: penaltyCoef,
+		Seed:              seed,
+	}
+}
+
+// measureAgent replays a greedy policy on a CC-Hunter-instrumented
+// environment and reports bit rate, accuracy, and mean max
+// autocorrelation.
+func measureRL(net nn.PolicyValueNet, seed int64, episodes, episodeSteps int) (bitrate, accuracy, maxAutocorr, detRate float64) {
+	det := detect.NewCCHunter()
+	e, err := env.New(detectorEnv(seed, det, 0, episodeSteps))
+	if err != nil {
+		panic(err)
+	}
+	steps, guesses, correct, detected := 0, 0, 0, 0
+	sumAC := 0.0
+	for i := 0; i < episodes; i++ {
+		ep := rl.ReplayGreedy(net, e)
+		steps += len(ep.Actions)
+		guesses += ep.Guesses
+		correct += ep.Correct
+		sumAC += det.MaxAutocorrelation()
+		if v, ok := e.Verdict(); ok && v.Detected {
+			detected++
+		}
+	}
+	if steps > 0 {
+		bitrate = float64(guesses) / float64(steps)
+	}
+	if guesses > 0 {
+		accuracy = float64(correct) / float64(guesses)
+	}
+	return bitrate, accuracy, sumAC / float64(episodes), float64(detected) / float64(episodes)
+}
+
+// measureTextbook plays the scripted prime+probe loop on the instrumented
+// environment.
+func measureTextbook(seed int64, episodes, episodeSteps int) (bitrate, accuracy, maxAutocorr, detRate float64, train []float64) {
+	det := detect.NewCCHunter()
+	e, err := env.New(detectorEnv(seed, det, 0, episodeSteps))
+	if err != nil {
+		panic(err)
+	}
+	agent := agents.NewPrimeProbe(4)
+	steps, guesses, correct, detected := 0, 0, 0, 0
+	sumAC := 0.0
+	for i := 0; i < episodes; i++ {
+		e.Reset()
+		agent.Reset()
+		done := false
+		for !done {
+			_, _, done = e.Step(agent.Act(e))
+		}
+		c, g := e.EpisodeGuesses()
+		steps += len(e.Trace())
+		guesses += g
+		correct += c
+		sumAC += det.MaxAutocorrelation()
+		if v, ok := e.Verdict(); ok && v.Detected {
+			detected++
+		}
+		if i == episodes-1 {
+			train = det.EventTrain()
+		}
+	}
+	return float64(guesses) / float64(steps), float64(correct) / float64(guesses),
+		sumAC / float64(episodes), float64(detected) / float64(episodes), train
+}
+
+// trainDetectorAgent trains one multi-guess agent in two phases: a
+// single-guess pretraining phase (where the conditional-guess structure is
+// learned reliably), then multi-guess fine-tuning, optionally against a
+// detector with the given penalty coefficient — a curriculum standing in
+// for the paper's much larger sample budget.
+func trainDetectorAgent(o Options, seed int64, mkDet func() detect.Detector, penaltyCoef float64, episodeSteps, budget int) (*core.Result, nn.PolicyValueNet, error) {
+	// Phase 1: single-guess pretraining without the detector.
+	phase1 := core.Config{
+		Env: detectorEnv(seed, nil, 0, 0),
+		PPO: standardPPO(o.epochs(budget), seed),
+	}
+	ex, err := core.New(phase1)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex.Run()
+	net := ex.Net()
+
+	// Phase 2: multi-guess fine-tuning with the detector in the loop.
+	var envs []*env.Env
+	for i := 0; i < 8; i++ {
+		cfg := detectorEnv(seed+int64(i)*7919+500, nil, penaltyCoef, episodeSteps)
+		if mkDet != nil {
+			cfg.Detector = mkDet()
+		}
+		e, err := env.New(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		envs = append(envs, e)
+	}
+	ppo2 := rl.PPOConfig{
+		StepsPerEpoch:   3000,
+		MaxEpochs:       o.epochs(budget * 2 / 3),
+		EntAnnealEpochs: 10,
+		EntCoefInit:     0.03,
+		ExploreEps:      0.05,
+		TargetAccuracy:  0.93,
+		Seed:            seed + 1,
+	}
+	tr, err := rl.NewTrainer(net, envs, ppo2)
+	if err != nil {
+		return nil, nil, err
+	}
+	train := tr.Train()
+	res := &core.Result{Train: train, Eval: rl.Evaluate(net, envs[0], 32)}
+	return res, net, nil
+}
+
+const detectorEpisodeSteps = 48
+
+// TableVIII reproduces the CC-Hunter autocorrelation case study: bit
+// rate, accuracy, and mean max autocorrelation for the textbook attack,
+// the RL baseline, and the RL agent trained with the L2 autocorrelation
+// penalty. It also prints the Figure 3 event trains and autocorrelograms.
+func TableVIII(o Options) {
+	o = o.withDefaults()
+	fmt.Fprintln(o.W, "Table VIII: bypassing autocorrelation (CC-Hunter) detection")
+	fmt.Fprintf(o.W, "%-12s | %-20s %-14s %-16s %s\n", "Attack", "Bit rate (guess/step)", "Accuracy", "Avg max autocorr", "Detection rate")
+
+	br, acc, ac, dr, tbTrain := measureTextbook(o.Seed+900, 50, detectorEpisodeSteps)
+	fmt.Fprintf(o.W, "%-12s | %-20.4f %-14.3f %-16.3f %.3f\n", "textbook", br, acc, ac, dr)
+
+	_, baseNet, err := trainDetectorAgent(o, o.Seed+1, nil, 0, detectorEpisodeSteps, 100)
+	if err != nil {
+		fmt.Fprintf(o.W, "RL baseline: %v\n", err)
+		return
+	}
+	bbr, bacc, bac, bdr := measureRL(baseNet, o.Seed+901, 50, detectorEpisodeSteps)
+	fmt.Fprintf(o.W, "%-12s | %-20.4f %-14.3f %-16.3f %.3f\n", "RL baseline", bbr, bacc, bac, bdr)
+
+	_, acNet, err := trainDetectorAgent(o, o.Seed+2, func() detect.Detector { return detect.NewCCHunter() }, -4, detectorEpisodeSteps, 120)
+	if err != nil {
+		fmt.Fprintf(o.W, "RL autocor: %v\n", err)
+		return
+	}
+	abr, aacc, aac, adr := measureRL(acNet, o.Seed+902, 50, detectorEpisodeSteps)
+	fmt.Fprintf(o.W, "%-12s | %-20.4f %-14.3f %-16.3f %.3f\n", "RL autocor", abr, aacc, aac, adr)
+	fmt.Fprintln(o.W, "expected shape: RL bit rates > textbook; RL-autocor max autocorr < textbook/baseline at some bit-rate cost")
+
+	// Figure 3: the textbook event train and autocorrelogram.
+	fmt.Fprintln(o.W, "\nFigure 3 (textbook prime+probe): conflict-miss event train (1 = A→V, 0 = V→A)")
+	fmt.Fprintf(o.W, "train (%d events): %v\n", len(tbTrain), compactTrain(tbTrain, 48))
+	fmt.Fprintf(o.W, "autocorrelogram (lags 0-15): %s\n", fmtSeries(stats.Autocorrelogram(tbTrain, 15)))
+}
+
+func compactTrain(train []float64, max int) []int {
+	out := make([]int, 0, max)
+	for i, v := range train {
+		if i >= max {
+			break
+		}
+		out = append(out, int(v))
+	}
+	return out
+}
+
+func fmtSeries(xs []float64) string {
+	s := "["
+	for i, x := range xs {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.2f", x)
+	}
+	return s + "]"
+}
+
+// TableIX reproduces the Cyclone SVM case study: the detector is trained
+// on synthetic benign traces plus the textbook prime+probe, and the RL
+// agent is trained with the detection penalty in the loop.
+func TableIX(o Options) {
+	o = o.withDefaults()
+	fmt.Fprintln(o.W, "Table IX: bypassing SVM (Cyclone) detection")
+
+	// Train the detector: benign suite + textbook attack traces.
+	benign := trace.BenignSuite(16, trace.BenignConfig{Length: 800, AddrSpace: 8, Seed: o.Seed + 50})
+	var attacks [][]trace.Access
+	for t := 0; t < 6; t++ {
+		attacks = append(attacks, textbookTrace(o.Seed+60+int64(t), 40))
+	}
+	mkCyclone, cv, err := cycloneFactory(benign, attacks)
+	if err != nil {
+		fmt.Fprintf(o.W, "cyclone training: %v\n", err)
+		return
+	}
+	fmt.Fprintf(o.W, "SVM 5-fold cross-validation accuracy: %.3f (paper: 0.988)\n", cv)
+	fmt.Fprintf(o.W, "%-12s | %-20s %-14s %s\n", "Attack", "Bit rate (guess/step)", "Accuracy", "Detection rate")
+
+	// Textbook against the Cyclone detector.
+	tbDet := mkCyclone()
+	e, err := env.New(detectorEnv(o.Seed+903, tbDet, 0, detectorEpisodeSteps))
+	if err != nil {
+		fmt.Fprintf(o.W, "env: %v\n", err)
+		return
+	}
+	res, detected, _ := scriptedWithDetector(e, agents.NewPrimeProbe(4), 50)
+	fmt.Fprintf(o.W, "%-12s | %-20.4f %-14.3f %.3f\n", "textbook",
+		res.GuessRate(), res.Accuracy(), float64(detected)/float64(res.Episodes))
+
+	// RL baseline (no detector during training), measured against Cyclone.
+	_, baseNet, err := trainDetectorAgent(o, o.Seed+3, nil, 0, detectorEpisodeSteps, 100)
+	if err != nil {
+		fmt.Fprintf(o.W, "RL baseline: %v\n", err)
+		return
+	}
+	bbr, bacc, bdr := measureAgainstCyclone(baseNet, mkCyclone(), o.Seed+904, 50)
+	fmt.Fprintf(o.W, "%-12s | %-20.4f %-14.3f %.3f\n", "RL baseline", bbr, bacc, bdr)
+
+	// RL SVM: trained with the detection penalty in the loop.
+	_, svmNet, err := trainDetectorAgent(o, o.Seed+4, func() detect.Detector { return mkCyclone() }, -2, detectorEpisodeSteps, 120)
+	if err != nil {
+		fmt.Fprintf(o.W, "RL SVM: %v\n", err)
+		return
+	}
+	sbr, sacc, sdr := measureAgainstCyclone(svmNet, mkCyclone(), o.Seed+905, 50)
+	fmt.Fprintf(o.W, "%-12s | %-20.4f %-14.3f %.3f\n", "RL SVM", sbr, sacc, sdr)
+	fmt.Fprintln(o.W, "expected shape: textbook/RL-baseline detected at high rate; RL-SVM detection rate near zero at some bit-rate cost")
+}
+
+// textbookTrace generates a prime+probe memory trace on the detector
+// cache for SVM training.
+func textbookTrace(seed int64, rounds int) []trace.Access {
+	var out []trace.Access
+	for r := 0; r < rounds; r++ {
+		for a := cache.Addr(4); a <= 5; a++ {
+			out = append(out, trace.Access{Dom: cache.DomainAttacker, Addr: a})
+		}
+		out = append(out, trace.Access{Dom: cache.DomainVictim, Addr: cache.Addr((seed + int64(r)) % 2)})
+		for a := cache.Addr(4); a <= 5; a++ {
+			out = append(out, trace.Access{Dom: cache.DomainAttacker, Addr: a})
+		}
+	}
+	return out
+}
+
+// cycloneFactory trains the SVM once and returns a factory producing
+// fresh detector instances sharing the trained model.
+func cycloneFactory(benign, attacks [][]trace.Access) (func() *detect.Cyclone, float64, error) {
+	det, cv, err := detect.TrainCyclone(detect.TrainCycloneConfig{
+		NumSets:      4,
+		Interval:     40,
+		BenignTraces: benign,
+		AttackTraces: attacks,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	model := det.Model
+	return func() *detect.Cyclone { return detect.NewCyclone(model, 4, 40) }, cv, nil
+}
+
+// measureAgainstCyclone replays a greedy policy with a Cyclone detector
+// attached and reports bit rate, accuracy, and detection rate.
+func measureAgainstCyclone(net nn.PolicyValueNet, det detect.Detector, seed int64, episodes int) (bitrate, accuracy, detRate float64) {
+	e, err := env.New(detectorEnv(seed, det, 0, detectorEpisodeSteps))
+	if err != nil {
+		panic(err)
+	}
+	steps, guesses, correct, detected := 0, 0, 0, 0
+	for i := 0; i < episodes; i++ {
+		ep := rl.ReplayGreedy(net, e)
+		steps += len(ep.Actions)
+		guesses += ep.Guesses
+		correct += ep.Correct
+		if v, ok := e.Verdict(); ok && v.Detected {
+			detected++
+		}
+	}
+	if steps > 0 {
+		bitrate = float64(guesses) / float64(steps)
+	}
+	if guesses > 0 {
+		accuracy = float64(correct) / float64(guesses)
+	}
+	return bitrate, accuracy, float64(detected) / float64(episodes)
+}
+
+// TableX measures both covert channels on the four simulated machines.
+func TableX(o Options) {
+	o = o.withDefaults()
+	repeats := 3
+	if o.Scale >= 1 {
+		repeats = 100 // the paper sends the 2048-bit string 100 times
+	}
+	fmt.Fprintln(o.W, "Table X: covert channels on (simulated) real machines, 2048-bit strings")
+	fmt.Fprintf(o.W, "%-20s %-11s %-9s | %9s %9s %6s | %s\n",
+		"CPU", "µarch", "L1D", "LRU Mbps", "SS Mbps", "Impr.", "error rates")
+	for _, m := range covert.Machines() {
+		lru, err := covert.MeasureOnMachine(m, false, 2, 2048, repeats, o.Seed+1)
+		if err != nil {
+			fmt.Fprintf(o.W, "%s: %v\n", m.Name, err)
+			continue
+		}
+		ss, err := covert.MeasureOnMachine(m, true, 2, 2048, repeats, o.Seed+2)
+		if err != nil {
+			fmt.Fprintf(o.W, "%s: %v\n", m.Name, err)
+			continue
+		}
+		fmt.Fprintf(o.W, "%-20s %-11s %2dKB/%2dw | %9.1f %9.1f %5.0f%% | %.2f%% / %.2f%%\n",
+			m.Name, m.Microarch, m.L1KB, m.L1Ways,
+			lru.BitRateMbps, ss.BitRateMbps, (ss.BitRateMbps/lru.BitRateMbps-1)*100,
+			lru.ErrorRate*100, ss.ErrorRate*100)
+	}
+	fmt.Fprintln(o.W, "expected shape: SS > LRU everywhere at <5% error; larger improvement on the 12-way parts")
+}
+
+// Figure3 prints the textbook event train and autocorrelogram without
+// retraining RL agents (the RL rows appear in TableVIII's output).
+func Figure3(o Options) {
+	o = o.withDefaults()
+	_, _, ac, dr, train := measureTextbook(o.Seed+900, 20, detectorEpisodeSteps)
+	fmt.Fprintln(o.W, "Figure 3: conflict-miss event train and autocorrelogram (textbook prime+probe)")
+	fmt.Fprintf(o.W, "train (first 48 of %d events, 1 = A→V, 0 = V→A): %v\n", len(train), compactTrain(train, 48))
+	fmt.Fprintf(o.W, "autocorrelogram (lags 0-15): %s\n", fmtSeries(stats.Autocorrelogram(train, 15)))
+	fmt.Fprintf(o.W, "avg max autocorrelation %.3f, detection rate %.3f (threshold 0.75)\n", ac, dr)
+}
+
+// Figure4 prints the StealthyStreamline walk-through and verifies the
+// cascade decode property for every secret.
+func Figure4(o Options) {
+	o = o.withDefaults()
+	fmt.Fprintln(o.W, "Figure 4: StealthyStreamline (4 candidates in an 8-way LRU set)")
+	ch, err := covert.NewStealthyStreamline(covert.ChannelConfig{Ways: 8, SymbolBits: 2, Policy: cache.LRU, Seed: o.Seed})
+	if err != nil {
+		fmt.Fprintf(o.W, "error: %v\n", err)
+		return
+	}
+	ok := true
+	misses := 0
+	for rep := 0; rep < 25; rep++ {
+		for s := 0; s < 4; s++ {
+			r := ch.Round((s + rep) % 4)
+			if r.Decoded != r.Sent {
+				ok = false
+			}
+			if r.VictimMiss {
+				misses++
+			}
+		}
+	}
+	fmt.Fprintf(o.W, "decode correct for all secrets over 100 rounds: %v; victim misses: %d\n", ok, misses)
+	for _, phase := range ch.StateTrace(2) {
+		fmt.Fprintln(o.W, phase)
+	}
+}
+
+// Figure5 prints the bit-rate / error-rate tradeoff series per machine.
+func Figure5(o Options) {
+	o = o.withDefaults()
+	scales := []float64{2, 1.4, 1, 0.7, 0.5, 0.35, 0.25}
+	fmt.Fprintln(o.W, "Figure 5: bit rate vs error rate (guard-time sweep), per machine")
+	for _, m := range covert.Machines() {
+		fmt.Fprintf(o.W, "%s (%d-way):\n", m.Name, m.L1Ways)
+		for _, stealthy := range []bool{false, true} {
+			name := "LRU addr-based   "
+			if stealthy {
+				name = "StealthyStreamline"
+			}
+			fmt.Fprintf(o.W, "  %s:", name)
+			for _, p := range covert.RateErrorSweep(m, stealthy, scales, 1024, o.Seed+3) {
+				fmt.Fprintf(o.W, "  (%.1f%%, %.1f Mbps)", p.ErrorRate*100, p.BitRateMbps)
+			}
+			fmt.Fprintln(o.W)
+		}
+	}
+	fmt.Fprintln(o.W, "expected shape: SS curve sits above the LRU curve in the low-error region")
+}
+
+// SearchVsRL reproduces §VI-A: the closed-form random-search cost against
+// the RL agent's measured steps-to-converge on the 1-bit channel.
+func SearchVsRL(o Options) {
+	o = o.withDefaults()
+	fmt.Fprintln(o.W, "§VI-A: brute-force search vs RL")
+	fmt.Fprintf(o.W, "%-5s %-14s %s\n", "N", "E[sequences]", "E[steps] (2N+2 per try)")
+	for _, n := range []int{2, 4, 8, 12, 16} {
+		fmt.Fprintf(o.W, "%-5d %-14.3g %.3g\n", n, search.ExpectedTrials(n), search.ExpectedSteps(n))
+	}
+
+	// Empirical random search on the 1-line configuration.
+	e, err := env.New(env.Config{
+		Cache:      cache.Config{NumBlocks: 1, NumWays: 1},
+		AttackerLo: 1, AttackerHi: 1,
+		VictimLo: 0, VictimHi: 0,
+		VictimNoAccess: true,
+		WindowSize:     8,
+		Warmup:         -1,
+		Seed:           o.Seed,
+	})
+	if err != nil {
+		fmt.Fprintf(o.W, "env: %v\n", err)
+		return
+	}
+	sr := search.RandomSearch(e, 3, 100000, o.Seed)
+	fmt.Fprintf(o.W, "random search (1-line cache, length-3 prefixes): found=%v after %d sequences / %d steps\n",
+		sr.Found, sr.Sequences, sr.Steps)
+
+	res, err := core.Explore(core.Config{
+		Env: env.Config{
+			Cache:      cache.Config{NumBlocks: 1, NumWays: 1},
+			AttackerLo: 1, AttackerHi: 1,
+			VictimLo: 0, VictimHi: 0,
+			VictimNoAccess: true,
+			WindowSize:     6,
+			Warmup:         -1,
+			Seed:           o.Seed,
+		},
+		Hidden: []int{32, 32},
+		PPO:    standardPPO(o.epochs(60), o.Seed),
+	})
+	if err != nil {
+		fmt.Fprintf(o.W, "RL: %v\n", err)
+		return
+	}
+	fmt.Fprintf(o.W, "RL on the same cache: converged=%v after %d epochs (~%d env steps), attack %s\n",
+		res.Train.Converged, res.Train.Epochs, res.Train.Epochs*3000, res.Sequence)
+	fmt.Fprintln(o.W, "expected shape: random search cost explodes ~e^{2N}; RL stays ~1M steps even at N=8 (paper)")
+}

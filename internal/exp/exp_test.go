@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The fast harnesses (no RL training) are tested directly; the training
+// harnesses are exercised by the benchmark suite and cmd/autocat-bench.
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != 1 || o.Runs != 1 || o.W == nil {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	if got := (Options{Scale: 0.5}).withDefaults().epochs(100); got != 50 {
+		t.Fatalf("epochs(100) at scale 0.5 = %d", got)
+	}
+	if got := (Options{Scale: 0.01}).withDefaults().epochs(100); got != 10 {
+		t.Fatalf("epoch floor = %d, want 10", got)
+	}
+}
+
+func TestTableXOutputShape(t *testing.T) {
+	var buf bytes.Buffer
+	TableX(Options{W: &buf, Scale: 0.3, Seed: 1})
+	out := buf.String()
+	for _, want := range []string{"Xeon E5-2687W v2", "Core i5-11600K", "LRU Mbps", "SS Mbps"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table X output missing %q:\n%s", want, out)
+		}
+	}
+	// Four machine rows.
+	if got := strings.Count(out, "KB/"); got != 4 {
+		t.Fatalf("expected 4 machine rows, got %d", got)
+	}
+}
+
+func TestFigure3Output(t *testing.T) {
+	var buf bytes.Buffer
+	Figure3(Options{W: &buf, Seed: 1})
+	out := buf.String()
+	if !strings.Contains(out, "autocorrelogram") || !strings.Contains(out, "event train") {
+		t.Fatalf("Figure 3 output incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "detection rate 1.000") {
+		t.Fatalf("textbook prime+probe should be detected at rate 1.0:\n%s", out)
+	}
+}
+
+func TestFigure4Output(t *testing.T) {
+	var buf bytes.Buffer
+	Figure4(Options{W: &buf, Seed: 1})
+	out := buf.String()
+	if !strings.Contains(out, "decode correct for all secrets over 100 rounds: true") {
+		t.Fatalf("Figure 4 decode check failed:\n%s", out)
+	}
+	if !strings.Contains(out, "victim misses: 0") {
+		t.Fatalf("StealthyStreamline must keep victim misses at 0:\n%s", out)
+	}
+	for _, phase := range []string{"initial", "victim access", "eviction stream", "probe/refill"} {
+		if !strings.Contains(out, phase) {
+			t.Fatalf("walk-through missing phase %q", phase)
+		}
+	}
+}
+
+func TestFigure5Output(t *testing.T) {
+	var buf bytes.Buffer
+	Figure5(Options{W: &buf, Seed: 1})
+	out := buf.String()
+	if strings.Count(out, "StealthyStreamline:") != 4 {
+		t.Fatalf("expected 4 SS series:\n%s", out)
+	}
+	if !strings.Contains(out, "Mbps") {
+		t.Fatal("missing bit-rate points")
+	}
+}
+
+func TestSearchVsRLClosedFormOnly(t *testing.T) {
+	// Exercise only the closed-form part cheaply via a tiny scale (the
+	// RL part is covered by benches); ensure the table prints.
+	var buf bytes.Buffer
+	o := Options{W: &buf, Scale: 0.1, Seed: 1}.withDefaults()
+	// Print just the closed-form rows by reusing the helper directly.
+	_ = o
+	// Full SearchVsRL trains a tiny agent; at scale 0.1 it still runs a
+	// few epochs — acceptable for the test suite.
+	SearchVsRL(Options{W: &buf, Scale: 0.1, Seed: 1})
+	out := buf.String()
+	if !strings.Contains(out, "E[sequences]") || !strings.Contains(out, "random search") {
+		t.Fatalf("SearchVsRL output incomplete:\n%s", out)
+	}
+}
+
+func TestTable4ConfigsWellFormed(t *testing.T) {
+	rows := Table4Configs(1)
+	if len(rows) < 10 {
+		t.Fatalf("expected >= 10 Table IV rows, got %d", len(rows))
+	}
+	seen := map[int]bool{}
+	for _, r := range rows {
+		if seen[r.No] {
+			t.Fatalf("duplicate row number %d", r.No)
+		}
+		seen[r.No] = true
+		if err := r.Env.Validate(); err != nil {
+			t.Fatalf("row %d invalid: %v", r.No, err)
+		}
+		if r.Epochs <= 0 {
+			t.Fatalf("row %d missing epoch budget", r.No)
+		}
+	}
+	for no := range benchTable4Rows {
+		if !seen[no] {
+			t.Fatalf("bench subset references missing row %d", no)
+		}
+	}
+}
+
+func TestTextbookTraceAlternatesDomains(t *testing.T) {
+	tr := textbookTrace(1, 5)
+	if len(tr) != 25 {
+		t.Fatalf("5 rounds × 5 accesses = 25, got %d", len(tr))
+	}
+	vic := 0
+	for _, a := range tr {
+		if a.Dom == 2 { // cache.DomainVictim
+			vic++
+		}
+	}
+	if vic != 5 {
+		t.Fatalf("one victim access per round expected, got %d", vic)
+	}
+}

@@ -1,0 +1,47 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer over a parameter set.
+type Adam struct {
+	LR     float64
+	Beta1  float64
+	Beta2  float64
+	Eps    float64
+	params []*Param
+	m, v   [][]float64
+	t      int
+}
+
+// NewAdam builds an optimizer bound to params. Zero hyperparameters take
+// the standard defaults (lr 3e-4, β1 0.9, β2 0.999, ε 1e-8).
+func NewAdam(params []*Param, lr float64) *Adam {
+	if lr == 0 {
+		lr = 3e-4
+	}
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+	for _, p := range params {
+		a.m = append(a.m, make([]float64, len(p.Val)))
+		a.v = append(a.v, make([]float64, len(p.Val)))
+	}
+	return a
+}
+
+// Step applies one Adam update from the accumulated gradients and then
+// leaves the gradients untouched (callers usually ZeroGrads next).
+func (a *Adam) Step() {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j := range p.Val {
+			g := p.Grad[j]
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mh := m[j] / bc1
+			vh := v[j] / bc2
+			p.Val[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Linear is a dense layer Y = X·W + b with W stored In×Out.
+type Linear struct {
+	In, Out int
+	W       *Mat
+	B       []float64
+	dW      *Mat
+	dB      []float64
+	name    string
+}
+
+// NewLinear builds a Xavier-initialized dense layer.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		In: in, Out: out,
+		W:    NewMat(in, out),
+		B:    make([]float64, out),
+		dW:   NewMat(in, out),
+		dB:   make([]float64, out),
+		name: name,
+	}
+	xavierInit(l.W.Data, in, out, rng)
+	return l
+}
+
+// Params exposes the layer's trainable tensors.
+func (l *Linear) Params() []*Param {
+	return []*Param{
+		{Name: l.name + ".W", Val: l.W.Data, Grad: l.dW.Data},
+		{Name: l.name + ".b", Val: l.B, Grad: l.dB},
+	}
+}
+
+// Apply computes y = xW + b into a fresh slice without touching gradient
+// state; it is safe for concurrent use.
+func (l *Linear) Apply(x []float64) []float64 {
+	y := make([]float64, l.Out)
+	copy(y, l.B)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		wrow := l.W.Row(i)
+		for j := range y {
+			y[j] += xv * wrow[j]
+		}
+	}
+	return y
+}
+
+// Forward computes Y = XW + b for a batch.
+func (l *Linear) Forward(X *Mat) *Mat {
+	Y := MatMul(X, l.W)
+	for i := 0; i < Y.R; i++ {
+		row := Y.Row(i)
+		for j := range row {
+			row[j] += l.B[j]
+		}
+	}
+	return Y
+}
+
+// Backward accumulates dW += XᵀdY and dB += Σrows(dY), returning dX.
+func (l *Linear) Backward(X, dY *Mat) *Mat {
+	dWpart := MatMulATB(X, dY)
+	for i := range l.dW.Data {
+		l.dW.Data[i] += dWpart.Data[i]
+	}
+	for i := 0; i < dY.R; i++ {
+		row := dY.Row(i)
+		for j := range row {
+			l.dB[j] += row[j]
+		}
+	}
+	return MatMulABT(dY, l.W)
+}
+
+// Tanh applies tanh elementwise, returning a new matrix.
+func Tanh(X *Mat) *Mat {
+	Y := NewMat(X.R, X.C)
+	for i, v := range X.Data {
+		Y.Data[i] = math.Tanh(v)
+	}
+	return Y
+}
+
+// TanhBackward returns dX given the tanh output Y and upstream dY:
+// dx = dy · (1 − y²).
+func TanhBackward(Y, dY *Mat) *Mat {
+	dX := NewMat(Y.R, Y.C)
+	for i := range Y.Data {
+		y := Y.Data[i]
+		dX.Data[i] = dY.Data[i] * (1 - y*y)
+	}
+	return dX
+}
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(X *Mat) *Mat {
+	Y := NewMat(X.R, X.C)
+	for i, v := range X.Data {
+		if v > 0 {
+			Y.Data[i] = v
+		}
+	}
+	return Y
+}
+
+// ReLUBackward returns dX given the pre-activation X and upstream dY.
+func ReLUBackward(X, dY *Mat) *Mat {
+	dX := NewMat(X.R, X.C)
+	for i := range X.Data {
+		if X.Data[i] > 0 {
+			dX.Data[i] = dY.Data[i]
+		}
+	}
+	return dX
+}
+
+// LayerNorm normalizes each row to zero mean / unit variance and applies a
+// learned gain and bias.
+type LayerNorm struct {
+	Dim   int
+	Gain  []float64
+	Bias  []float64
+	dGain []float64
+	dBias []float64
+	name  string
+}
+
+// NewLayerNorm builds a layer norm with gain 1 and bias 0.
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	ln := &LayerNorm{
+		Dim:  dim,
+		Gain: make([]float64, dim), Bias: make([]float64, dim),
+		dGain: make([]float64, dim), dBias: make([]float64, dim),
+		name: name,
+	}
+	for i := range ln.Gain {
+		ln.Gain[i] = 1
+	}
+	return ln
+}
+
+// Params exposes the gain and bias tensors.
+func (ln *LayerNorm) Params() []*Param {
+	return []*Param{
+		{Name: ln.name + ".gain", Val: ln.Gain, Grad: ln.dGain},
+		{Name: ln.name + ".bias", Val: ln.Bias, Grad: ln.dBias},
+	}
+}
+
+const lnEps = 1e-5
+
+// lnCache stores per-row normalization statistics for the backward pass.
+type lnCache struct {
+	xhat   *Mat
+	invStd []float64
+}
+
+// Forward normalizes each row of X.
+func (ln *LayerNorm) Forward(X *Mat) (*Mat, *lnCache) {
+	Y := NewMat(X.R, X.C)
+	c := &lnCache{xhat: NewMat(X.R, X.C), invStd: make([]float64, X.R)}
+	for i := 0; i < X.R; i++ {
+		row := X.Row(i)
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(len(row))
+		vari := 0.0
+		for _, v := range row {
+			d := v - mean
+			vari += d * d
+		}
+		vari /= float64(len(row))
+		inv := 1 / math.Sqrt(vari+lnEps)
+		c.invStd[i] = inv
+		xh := c.xhat.Row(i)
+		yr := Y.Row(i)
+		for j, v := range row {
+			xh[j] = (v - mean) * inv
+			yr[j] = xh[j]*ln.Gain[j] + ln.Bias[j]
+		}
+	}
+	return Y, c
+}
+
+// Backward accumulates gain/bias gradients and returns dX.
+func (ln *LayerNorm) Backward(c *lnCache, dY *Mat) *Mat {
+	dX := NewMat(dY.R, dY.C)
+	n := float64(dY.C)
+	for i := 0; i < dY.R; i++ {
+		dyr, xh := dY.Row(i), c.xhat.Row(i)
+		// dxhat = dy * gain
+		sumDx, sumDxXh := 0.0, 0.0
+		dxh := make([]float64, dY.C)
+		for j := range dyr {
+			ln.dGain[j] += dyr[j] * xh[j]
+			ln.dBias[j] += dyr[j]
+			dxh[j] = dyr[j] * ln.Gain[j]
+			sumDx += dxh[j]
+			sumDxXh += dxh[j] * xh[j]
+		}
+		inv := c.invStd[i]
+		dxr := dX.Row(i)
+		for j := range dxr {
+			dxr[j] = inv / n * (n*dxh[j] - sumDx - xh[j]*sumDxXh)
+		}
+	}
+	return dX
+}
+
+// Softmax returns the row-wise softmax of logits, numerically stabilized.
+func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	max := math.Inf(-1)
+	for _, v := range logits {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// LogSoftmax returns log-probabilities for the logits.
+func LogSoftmax(logits []float64) []float64 {
+	max := math.Inf(-1)
+	for _, v := range logits {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for _, v := range logits {
+		sum += math.Exp(v - max)
+	}
+	lse := max + math.Log(sum)
+	out := make([]float64, len(logits))
+	for i, v := range logits {
+		out[i] = v - lse
+	}
+	return out
+}
+
+// Entropy returns the Shannon entropy of a probability vector.
+func Entropy(p []float64) float64 {
+	h := 0.0
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}
+
+// SampleCategorical draws an index from the probability vector.
+func SampleCategorical(p []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, v := range p {
+		acc += v
+		if u <= acc {
+			return i
+		}
+	}
+	return len(p) - 1
+}
+
+// Argmax returns the index of the largest element (ties to the lowest
+// index), the greedy action used for deterministic replay.
+func Argmax(xs []float64) int {
+	best, bi := math.Inf(-1), 0
+	for i, v := range xs {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}

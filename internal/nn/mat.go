@@ -1,0 +1,200 @@
+// Package nn is a minimal, dependency-free neural-network library with
+// handwritten backward passes: dense matrices, linear layers, tanh/ReLU,
+// layer normalization, multi-head self-attention, an MLP and a single-layer
+// Transformer-encoder policy/value network, the Adam optimizer, and
+// categorical-distribution utilities. It replaces the PyTorch + RLMeta
+// stack the paper trains with; the math is identical, only the scale
+// differs.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	R, C int
+	Data []float64
+}
+
+// NewMat allocates a zeroed R×C matrix.
+func NewMat(r, c int) *Mat {
+	return &Mat{R: r, C: c, Data: make([]float64, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.C+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.C+j] = v }
+
+// Row returns a mutable view of row i.
+func (m *Mat) Row(i int) []float64 { return m.Data[i*m.C : (i+1)*m.C] }
+
+// Clone deep-copies the matrix.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.R, m.C)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero clears every element in place.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// FromRows builds a matrix from equally sized rows.
+func FromRows(rows [][]float64) *Mat {
+	if len(rows) == 0 {
+		return NewMat(0, 0)
+	}
+	m := NewMat(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.C {
+			panic(fmt.Sprintf("nn: ragged row %d (%d vs %d)", i, len(r), m.C))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// MatMul returns a·b for a R×K and b K×C.
+func MatMul(a, b *Mat) *Mat {
+	if a.C != b.R {
+		panic(fmt.Sprintf("nn: matmul shape mismatch %dx%d · %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := NewMat(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.C; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulATB returns aᵀ·b for a R×K and b R×C (a K×C result); the shape of
+// weight gradients dW = Xᵀ·dY.
+func MatMulATB(a, b *Mat) *Mat {
+	if a.R != b.R {
+		panic(fmt.Sprintf("nn: matmulATB shape mismatch %dx%d · %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := NewMat(a.C, b.C)
+	for r := 0; r < a.R; r++ {
+		arow, brow := a.Row(r), b.Row(r)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulABT returns a·bᵀ for a R×K and b C×K (a R×C result); the shape of
+// input gradients dX = dY·Wᵀ.
+func MatMulABT(a, b *Mat) *Mat {
+	if a.C != b.C {
+		panic(fmt.Sprintf("nn: matmulABT shape mismatch %dx%d · %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := NewMat(a.R, b.R)
+	for i := 0; i < a.R; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.R; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k := range arow {
+				s += arow[k] * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// Param is one trainable tensor: a flat value slice and its gradient
+// accumulator, plus a name for diagnostics.
+type Param struct {
+	Name string
+	Val  []float64
+	Grad []float64
+}
+
+// ZeroGrads clears the gradient accumulators of every parameter.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// GradNorm returns the global L2 norm across all parameter gradients.
+func GradNorm(params []*Param) float64 {
+	s := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// ClipGrads rescales all gradients so their global norm is at most max.
+// It returns the pre-clip norm.
+func ClipGrads(params []*Param, max float64) float64 {
+	norm := GradNorm(params)
+	if max <= 0 || norm <= max {
+		return norm
+	}
+	scale := max / (norm + 1e-12)
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] *= scale
+		}
+	}
+	return norm
+}
+
+// AddGrads accumulates src gradients into dst (same network layout); used
+// to reduce per-worker gradient shards after parallel backward passes.
+func AddGrads(dst, src []*Param) {
+	if len(dst) != len(src) {
+		panic("nn: AddGrads parameter count mismatch")
+	}
+	for i := range dst {
+		d, s := dst[i].Grad, src[i].Grad
+		if len(d) != len(s) {
+			panic("nn: AddGrads shape mismatch at " + dst[i].Name)
+		}
+		for j := range d {
+			d[j] += s[j]
+		}
+	}
+}
+
+// xavierInit fills data with Xavier/Glorot-uniform values for a fan-in /
+// fan-out pair.
+func xavierInit(data []float64, fanIn, fanOut int, rng *rand.Rand) {
+	limit := math.Sqrt(6 / float64(fanIn+fanOut))
+	for i := range data {
+		data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}

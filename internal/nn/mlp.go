@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// PolicyValueNet is the network contract the PPO trainer consumes: a policy
+// head producing action logits and a value head estimating the state value.
+// Apply is read-only and safe for concurrent rollout actors; Grad
+// recomputes the forward pass for one sample and accumulates parameter
+// gradients, and must be called from one goroutine at a time per net.
+type PolicyValueNet interface {
+	Apply(obs []float64) (logits []float64, value float64)
+	Grad(obs []float64, dLogits []float64, dValue float64)
+	Params() []*Param
+	NumActions() int
+	ObsDim() int
+	Clone() PolicyValueNet
+}
+
+// MLPConfig sizes an MLP policy/value network.
+type MLPConfig struct {
+	ObsDim  int
+	Actions int
+	// Hidden lists the trunk layer widths. Zero length defaults to
+	// [64, 64].
+	Hidden []int
+	Seed   int64
+}
+
+// MLPPolicy is a tanh MLP trunk with linear policy and value heads, the
+// fast default backbone (the paper notes MLP also finds attacks, §VI-B).
+type MLPPolicy struct {
+	cfg    MLPConfig
+	trunk  []*Linear
+	pHead  *Linear
+	vHead  *Linear
+	params []*Param
+}
+
+// NewMLP builds the network with Xavier initialization. The final policy
+// layer is scaled down so the initial policy is near-uniform, which keeps
+// early PPO exploration broad.
+func NewMLP(cfg MLPConfig) *MLPPolicy {
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = []int{64, 64}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 0x11a))
+	m := &MLPPolicy{cfg: cfg}
+	in := cfg.ObsDim
+	for i, h := range cfg.Hidden {
+		m.trunk = append(m.trunk, NewLinear(sprintfName("trunk", i), in, h, rng))
+		in = h
+	}
+	m.pHead = NewLinear("policy", in, cfg.Actions, rng)
+	m.vHead = NewLinear("value", in, 1, rng)
+	for i := range m.pHead.W.Data {
+		m.pHead.W.Data[i] *= 0.01
+	}
+	for _, l := range m.trunk {
+		m.params = append(m.params, l.Params()...)
+	}
+	m.params = append(m.params, m.pHead.Params()...)
+	m.params = append(m.params, m.vHead.Params()...)
+	return m
+}
+
+func sprintfName(base string, i int) string {
+	return base + "." + string(rune('0'+i))
+}
+
+// NumActions returns the policy head width.
+func (m *MLPPolicy) NumActions() int { return m.cfg.Actions }
+
+// ObsDim returns the expected observation size.
+func (m *MLPPolicy) ObsDim() int { return m.cfg.ObsDim }
+
+// Params returns all trainable tensors.
+func (m *MLPPolicy) Params() []*Param { return m.params }
+
+// Apply runs a stateless forward pass for one observation.
+func (m *MLPPolicy) Apply(obs []float64) ([]float64, float64) {
+	h := obs
+	for _, l := range m.trunk {
+		z := l.Apply(h)
+		for i, v := range z {
+			z[i] = math.Tanh(v)
+		}
+		h = z
+	}
+	logits := m.pHead.Apply(h)
+	v := m.vHead.Apply(h)
+	return logits, v[0]
+}
+
+// Grad recomputes the forward pass for one sample and accumulates
+// gradients for the given upstream logits/value gradients.
+func (m *MLPPolicy) Grad(obs []float64, dLogits []float64, dValue float64) {
+	X := &Mat{R: 1, C: len(obs), Data: obs}
+	acts := make([]*Mat, 0, len(m.trunk)+1)
+	acts = append(acts, X)
+	h := X
+	for _, l := range m.trunk {
+		h = Tanh(l.Forward(h))
+		acts = append(acts, h)
+	}
+	dL := &Mat{R: 1, C: len(dLogits), Data: dLogits}
+	dV := &Mat{R: 1, C: 1, Data: []float64{dValue}}
+	dh := m.pHead.Backward(h, dL)
+	dhv := m.vHead.Backward(h, dV)
+	for i := range dh.Data {
+		dh.Data[i] += dhv.Data[i]
+	}
+	for i := len(m.trunk) - 1; i >= 0; i-- {
+		dz := TanhBackward(acts[i+1], dh)
+		dh = m.trunk[i].Backward(acts[i], dz)
+	}
+}
+
+// Clone deep-copies the network (weights only; gradients start zeroed).
+func (m *MLPPolicy) Clone() PolicyValueNet {
+	out := NewMLP(m.cfg)
+	copyParams(out.params, m.params)
+	return out
+}
+
+// copyParams copies parameter values between identically shaped networks.
+func copyParams(dst, src []*Param) {
+	if len(dst) != len(src) {
+		panic("nn: copyParams parameter count mismatch")
+	}
+	for i := range dst {
+		copy(dst[i].Val, src[i].Val)
+	}
+}
+
+// CopyWeights copies parameter values from src into dst; the networks must
+// share a layout (e.g. Clone pairs).
+func CopyWeights(dst, src PolicyValueNet) { copyParams(dst.Params(), src.Params()) }

@@ -1,0 +1,53 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the on-disk form of a network's weights: named tensors.
+type snapshot struct {
+	Tensors map[string][]float64
+}
+
+// SaveWeights serializes a network's parameters (by name) so a trained
+// attack policy can be replayed later without retraining. The format is
+// gob; architecture configuration is not stored — the loader must build
+// an identically shaped network first.
+func SaveWeights(w io.Writer, net PolicyValueNet) error {
+	snap := snapshot{Tensors: map[string][]float64{}}
+	for _, p := range net.Params() {
+		if _, dup := snap.Tensors[p.Name]; dup {
+			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		vals := make([]float64, len(p.Val))
+		copy(vals, p.Val)
+		snap.Tensors[p.Name] = vals
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// LoadWeights restores parameters saved by SaveWeights into an
+// identically shaped network. Every tensor must match by name and size.
+func LoadWeights(r io.Reader, net PolicyValueNet) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("nn: decoding weights: %w", err)
+	}
+	params := net.Params()
+	if len(snap.Tensors) != len(params) {
+		return fmt.Errorf("nn: snapshot has %d tensors, network has %d", len(snap.Tensors), len(params))
+	}
+	for _, p := range params {
+		vals, ok := snap.Tensors[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: snapshot missing tensor %q", p.Name)
+		}
+		if len(vals) != len(p.Val) {
+			return fmt.Errorf("nn: tensor %q has %d values, want %d", p.Name, len(vals), len(p.Val))
+		}
+		copy(p.Val, vals)
+	}
+	return nil
+}

@@ -1,0 +1,287 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// TransformerConfig sizes the single-layer Transformer-encoder backbone
+// (the paper's: Transformer encoder + average pooling over steps, §IV-C).
+// Our default dimensions are scaled down from the paper's (128-d, 8 heads,
+// 2048-d FFN) to CPU-trainable sizes; the architecture is identical.
+type TransformerConfig struct {
+	Window   int // sequence length W
+	Features int // per-step feature width F
+	Actions  int
+	// Model is the embedding dimension D; zero defaults to 32.
+	Model int
+	// Heads is the attention head count; zero defaults to 4. Must divide
+	// Model.
+	Heads int
+	// FF is the feed-forward hidden width; zero defaults to 4×Model.
+	FF   int
+	Seed int64
+}
+
+func (c TransformerConfig) withDefaults() TransformerConfig {
+	if c.Model == 0 {
+		c.Model = 32
+	}
+	if c.Heads == 0 {
+		c.Heads = 4
+	}
+	if c.FF == 0 {
+		c.FF = 4 * c.Model
+	}
+	return c
+}
+
+// TransformerPolicy is a pre-LN single-layer Transformer encoder over the
+// W×F observation sequence, mean-pooled into policy and value heads.
+type TransformerPolicy struct {
+	cfg TransformerConfig
+
+	embed          *Linear
+	ln1, ln2       *LayerNorm
+	wq, wk, wv, wo *Linear
+	ff1, ff2       *Linear
+	pHead, vHead   *Linear
+	params         []*Param
+}
+
+// NewTransformer builds the network; it panics when Heads does not divide
+// Model.
+func NewTransformer(cfg TransformerConfig) *TransformerPolicy {
+	cfg = cfg.withDefaults()
+	if cfg.Model%cfg.Heads != 0 {
+		panic("nn: transformer Model must be divisible by Heads")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 0x7f))
+	d := cfg.Model
+	t := &TransformerPolicy{
+		cfg:   cfg,
+		embed: NewLinear("embed", cfg.Features, d, rng),
+		ln1:   NewLayerNorm("ln1", d),
+		ln2:   NewLayerNorm("ln2", d),
+		wq:    NewLinear("wq", d, d, rng),
+		wk:    NewLinear("wk", d, d, rng),
+		wv:    NewLinear("wv", d, d, rng),
+		wo:    NewLinear("wo", d, d, rng),
+		ff1:   NewLinear("ff1", d, cfg.FF, rng),
+		ff2:   NewLinear("ff2", cfg.FF, d, rng),
+		pHead: NewLinear("policy", d, cfg.Actions, rng),
+		vHead: NewLinear("value", d, 1, rng),
+	}
+	for i := range t.pHead.W.Data {
+		t.pHead.W.Data[i] *= 0.01
+	}
+	for _, l := range []*Linear{t.embed, t.wq, t.wk, t.wv, t.wo, t.ff1, t.ff2, t.pHead, t.vHead} {
+		t.params = append(t.params, l.Params()...)
+	}
+	t.params = append(t.params, t.ln1.Params()...)
+	t.params = append(t.params, t.ln2.Params()...)
+	return t
+}
+
+// NumActions returns the policy head width.
+func (t *TransformerPolicy) NumActions() int { return t.cfg.Actions }
+
+// ObsDim returns the flattened observation size W×F.
+func (t *TransformerPolicy) ObsDim() int { return t.cfg.Window * t.cfg.Features }
+
+// Params returns all trainable tensors.
+func (t *TransformerPolicy) Params() []*Param { return t.params }
+
+// Clone deep-copies the network.
+func (t *TransformerPolicy) Clone() PolicyValueNet {
+	out := NewTransformer(t.cfg)
+	copyParams(out.params, t.params)
+	return out
+}
+
+// tfState carries every intermediate needed for the backward pass.
+type tfState struct {
+	X       *Mat // W×F input
+	E       *Mat // embedded W×D
+	N1      *Mat
+	ln1c    *lnCache
+	Q, K, V *Mat
+	heads   []headState
+	O       *Mat // concatenated attention output
+	AOut    *Mat // after wo
+	H1      *Mat // E + AOut
+	N2      *Mat
+	ln2c    *lnCache
+	F1      *Mat // ff1 pre-activation
+	R       *Mat // relu(F1)
+	F2      *Mat
+	H2      *Mat // H1 + F2
+	pool    []float64
+	logits  []float64
+	value   float64
+}
+
+// headState keeps one attention head's score matrix (post-softmax).
+type headState struct {
+	P *Mat // W×W attention weights
+}
+
+// colSlice copies columns [lo,hi) of m into a new matrix.
+func colSlice(m *Mat, lo, hi int) *Mat {
+	out := NewMat(m.R, hi-lo)
+	for i := 0; i < m.R; i++ {
+		copy(out.Row(i), m.Row(i)[lo:hi])
+	}
+	return out
+}
+
+// addColSlice accumulates src into columns [lo,hi) of dst.
+func addColSlice(dst *Mat, src *Mat, lo int) {
+	for i := 0; i < src.R; i++ {
+		drow := dst.Row(i)
+		for j, v := range src.Row(i) {
+			drow[lo+j] += v
+		}
+	}
+}
+
+// forward runs the full network for one observation sequence.
+func (t *TransformerPolicy) forward(obs []float64) *tfState {
+	cfg := t.cfg
+	s := &tfState{X: &Mat{R: cfg.Window, C: cfg.Features, Data: obs}}
+	s.E = t.embed.Forward(s.X)
+	s.N1, s.ln1c = t.ln1.Forward(s.E)
+	s.Q = t.wq.Forward(s.N1)
+	s.K = t.wk.Forward(s.N1)
+	s.V = t.wv.Forward(s.N1)
+	dh := cfg.Model / cfg.Heads
+	scale := 1 / math.Sqrt(float64(dh))
+	s.O = NewMat(cfg.Window, cfg.Model)
+	for h := 0; h < cfg.Heads; h++ {
+		lo, hi := h*dh, (h+1)*dh
+		qh, kh, vh := colSlice(s.Q, lo, hi), colSlice(s.K, lo, hi), colSlice(s.V, lo, hi)
+		scores := MatMulABT(qh, kh)
+		for i := range scores.Data {
+			scores.Data[i] *= scale
+		}
+		P := NewMat(scores.R, scores.C)
+		for i := 0; i < scores.R; i++ {
+			copy(P.Row(i), Softmax(scores.Row(i)))
+		}
+		oh := MatMul(P, vh)
+		addColSlice(s.O, oh, lo)
+		s.heads = append(s.heads, headState{P: P})
+	}
+	s.AOut = t.wo.Forward(s.O)
+	s.H1 = NewMat(cfg.Window, cfg.Model)
+	for i := range s.H1.Data {
+		s.H1.Data[i] = s.E.Data[i] + s.AOut.Data[i]
+	}
+	s.N2, s.ln2c = t.ln2.Forward(s.H1)
+	s.F1 = t.ff1.Forward(s.N2)
+	s.R = ReLU(s.F1)
+	s.F2 = t.ff2.Forward(s.R)
+	s.H2 = NewMat(cfg.Window, cfg.Model)
+	for i := range s.H2.Data {
+		s.H2.Data[i] = s.H1.Data[i] + s.F2.Data[i]
+	}
+	s.pool = make([]float64, cfg.Model)
+	for i := 0; i < cfg.Window; i++ {
+		row := s.H2.Row(i)
+		for j := range s.pool {
+			s.pool[j] += row[j]
+		}
+	}
+	for j := range s.pool {
+		s.pool[j] /= float64(cfg.Window)
+	}
+	s.logits = t.pHead.Apply(s.pool)
+	s.value = t.vHead.Apply(s.pool)[0]
+	return s
+}
+
+// Apply runs a stateless forward pass; safe for concurrent actors because
+// all intermediates are local.
+func (t *TransformerPolicy) Apply(obs []float64) ([]float64, float64) {
+	s := t.forward(obs)
+	return s.logits, s.value
+}
+
+// Grad recomputes the forward pass for one sample and accumulates
+// parameter gradients.
+func (t *TransformerPolicy) Grad(obs []float64, dLogits []float64, dValue float64) {
+	cfg := t.cfg
+	s := t.forward(obs)
+	pool := &Mat{R: 1, C: cfg.Model, Data: s.pool}
+	dL := &Mat{R: 1, C: len(dLogits), Data: dLogits}
+	dV := &Mat{R: 1, C: 1, Data: []float64{dValue}}
+	dPool := t.pHead.Backward(pool, dL)
+	dPoolV := t.vHead.Backward(pool, dV)
+	for i := range dPool.Data {
+		dPool.Data[i] += dPoolV.Data[i]
+	}
+	// Mean pool: every row of H2 receives dPool / W.
+	dH2 := NewMat(cfg.Window, cfg.Model)
+	for i := 0; i < cfg.Window; i++ {
+		row := dH2.Row(i)
+		for j := range row {
+			row[j] = dPool.Data[j] / float64(cfg.Window)
+		}
+	}
+	// H2 = H1 + F2.
+	dR := t.ff2.Backward(s.R, dH2)
+	dF1 := ReLUBackward(s.F1, dR)
+	dN2 := t.ff1.Backward(s.N2, dF1)
+	dH1 := t.ln2.Backward(s.ln2c, dN2)
+	for i := range dH1.Data {
+		dH1.Data[i] += dH2.Data[i] // residual
+	}
+	// H1 = E + AOut.
+	dO := t.wo.Backward(s.O, dH1)
+	dh := cfg.Model / cfg.Heads
+	scale := 1 / math.Sqrt(float64(dh))
+	dQ := NewMat(cfg.Window, cfg.Model)
+	dK := NewMat(cfg.Window, cfg.Model)
+	dV2 := NewMat(cfg.Window, cfg.Model)
+	for h := 0; h < cfg.Heads; h++ {
+		lo, hi := h*dh, (h+1)*dh
+		dOh := colSlice(dO, lo, hi)
+		P := s.heads[h].P
+		vh := colSlice(s.V, lo, hi)
+		qh := colSlice(s.Q, lo, hi)
+		kh := colSlice(s.K, lo, hi)
+		dP := MatMulABT(dOh, vh)
+		dVh := MatMulATB(P, dOh)
+		// Softmax backward per row.
+		dS := NewMat(P.R, P.C)
+		for i := 0; i < P.R; i++ {
+			pr, dpr, dsr := P.Row(i), dP.Row(i), dS.Row(i)
+			dot := 0.0
+			for j := range pr {
+				dot += pr[j] * dpr[j]
+			}
+			for j := range pr {
+				dsr[j] = pr[j] * (dpr[j] - dot)
+			}
+		}
+		for i := range dS.Data {
+			dS.Data[i] *= scale
+		}
+		dQh := MatMul(dS, kh)
+		dKh := MatMulATB(dS, qh)
+		addColSlice(dQ, dQh, lo)
+		addColSlice(dK, dKh, lo)
+		addColSlice(dV2, dVh, lo)
+	}
+	dN1 := t.wq.Backward(s.N1, dQ)
+	dN1k := t.wk.Backward(s.N1, dK)
+	dN1v := t.wv.Backward(s.N1, dV2)
+	for i := range dN1.Data {
+		dN1.Data[i] += dN1k.Data[i] + dN1v.Data[i]
+	}
+	dE := t.ln1.Backward(s.ln1c, dN1)
+	for i := range dE.Data {
+		dE.Data[i] += dH1.Data[i] // residual into E
+	}
+	t.embed.Backward(s.X, dE)
+}

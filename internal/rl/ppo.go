@@ -1,0 +1,552 @@
+// Package rl implements the AutoCAT RL engine: proximal policy
+// optimization (PPO) with generalized advantage estimation, parallel
+// rollout actors, convergence tracking, and deterministic greedy replay
+// for attack-sequence extraction (§IV-C). It replaces the RLMeta
+// asynchronous-PPO stack with a synchronous parallel implementation; the
+// paper itself uses synchronous PPO for its real-hardware experiments.
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"autocat/internal/env"
+	"autocat/internal/nn"
+)
+
+// PPOConfig carries the trainer hyperparameters. Zero values select the
+// defaults listed on each field.
+type PPOConfig struct {
+	// StepsPerEpoch is the number of environment steps collected per
+	// training epoch. Default 3000, matching the paper's "one epoch is
+	// 3000 training steps" (Table V footnote).
+	StepsPerEpoch int
+	// UpdateEpochs is the number of PPO passes over each batch. Default 8.
+	UpdateEpochs int
+	// MinibatchSize is the SGD minibatch size. Default 128.
+	MinibatchSize int
+	// Gamma is the discount factor. Default 0.99.
+	Gamma float64
+	// Lambda is the GAE parameter. Default 0.95.
+	Lambda float64
+	// ClipEps is the PPO clipping radius. Default 0.2.
+	ClipEps float64
+	// EntCoef weights the entropy bonus. Default 0.02.
+	EntCoef float64
+	// EntCoefInit optionally starts the entropy bonus higher and anneals
+	// it linearly down to EntCoef over EntAnnealEpochs epochs; sustained
+	// early exploration is what lets the agent escape the
+	// "guess-immediately" local optimum on larger action spaces.
+	// Default 0.1 when EntAnnealEpochs > 0.
+	EntCoefInit float64
+	// EntAnnealEpochs is the annealing horizon. Default 0 (no annealing).
+	EntAnnealEpochs int
+	// ExploreEps mixes the behavior policy with a uniform distribution
+	// during collection: μ = (1-ε)π + ε·U. The stored log-probabilities
+	// are those of μ, so the PPO ratio π_new/μ stays well-defined. The
+	// mix anneals to zero over EntAnnealEpochs. Default 0.
+	ExploreEps float64
+	// VfCoef weights the value loss. Default 0.5.
+	VfCoef float64
+	// LR is the Adam learning rate. Default 3e-3 (the networks are small
+	// and the epoch budget is CPU-scale; see DESIGN.md).
+	LR float64
+	// MaxGradNorm clips the global gradient norm. Default 0.5.
+	MaxGradNorm float64
+	// MaxEpochs bounds training. Default 100.
+	MaxEpochs int
+	// TargetAccuracy is the guess accuracy that counts as converged.
+	// Default 0.95.
+	TargetAccuracy float64
+	// ConvergeEpochs is how many consecutive epochs must meet the target
+	// before training stops. Default 2.
+	ConvergeEpochs int
+	// EvalEpisodes is the number of greedy episodes replayed after each
+	// epoch to test convergence (the paper's deterministic replay,
+	// §IV-C). Default 64.
+	EvalEpisodes int
+	// Workers is the parallel gradient/actor worker count. Default
+	// min(GOMAXPROCS, 8).
+	Workers int
+	// Seed drives action sampling and minibatch shuffling.
+	Seed int64
+	// DisableClip turns the PPO clipped surrogate into a plain policy
+	// gradient (an ablation; see bench_test.go).
+	DisableClip bool
+}
+
+func (c PPOConfig) withDefaults() PPOConfig {
+	if c.StepsPerEpoch == 0 {
+		c.StepsPerEpoch = 3000
+	}
+	if c.UpdateEpochs == 0 {
+		c.UpdateEpochs = 8
+	}
+	if c.MinibatchSize == 0 {
+		c.MinibatchSize = 128
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.99
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 0.95
+	}
+	if c.ClipEps == 0 {
+		c.ClipEps = 0.2
+	}
+	if c.EntCoef == 0 {
+		c.EntCoef = 0.02
+	}
+	if c.EntAnnealEpochs > 0 && c.EntCoefInit == 0 {
+		c.EntCoefInit = 0.1
+	}
+	if c.VfCoef == 0 {
+		c.VfCoef = 0.5
+	}
+	if c.LR == 0 {
+		c.LR = 3e-3
+	}
+	if c.MaxGradNorm == 0 {
+		c.MaxGradNorm = 0.5
+	}
+	if c.MaxEpochs == 0 {
+		c.MaxEpochs = 100
+	}
+	if c.TargetAccuracy == 0 {
+		c.TargetAccuracy = 0.95
+	}
+	if c.ConvergeEpochs == 0 {
+		c.ConvergeEpochs = 2
+	}
+	if c.EvalEpisodes == 0 {
+		c.EvalEpisodes = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	return c
+}
+
+// EpochStats summarizes one training epoch.
+type EpochStats struct {
+	Epoch      int
+	Episodes   int
+	MeanReward float64 // mean episode return
+	MeanLength float64 // mean episode length (steps)
+	Accuracy   float64 // correct guesses / total guesses
+	GuessRate  float64 // guesses / steps (the bit-rate proxy of §V-D)
+	Entropy    float64 // mean policy entropy over collected steps
+	PolicyLoss float64
+	ValueLoss  float64
+}
+
+// Result is the outcome of a full training run.
+type Result struct {
+	Converged        bool
+	Epochs           int // epochs executed
+	EpochsToConverge int // first epoch meeting the target (1-based), 0 if never
+	Stats            []EpochStats
+	// FinalAccuracy and FinalLength come from the last greedy evaluation
+	// (deterministic replay), matching how the paper reports accuracy
+	// and episode length.
+	FinalAccuracy float64
+	FinalLength   float64
+}
+
+// Trainer owns the policy network, the parallel environment actors, and
+// the optimizer state for one training run.
+type Trainer struct {
+	cfg  PPOConfig
+	net  nn.PolicyValueNet
+	envs []*env.Env
+	rngs []*rand.Rand
+	opt  *nn.Adam
+	rng  *rand.Rand
+
+	curEnt  float64             // entropy coefficient for the current epoch
+	curEps  float64             // exploration mix for the current epoch
+	workers []nn.PolicyValueNet // gradient shard clones
+}
+
+// NewTrainer wires a policy network to a set of parallel environments.
+// Every environment must share the action/observation layout of the
+// network; the first mismatch is reported as an error.
+func NewTrainer(net nn.PolicyValueNet, envs []*env.Env, cfg PPOConfig) (*Trainer, error) {
+	if len(envs) == 0 {
+		return nil, fmt.Errorf("rl: need at least one environment")
+	}
+	cfg = cfg.withDefaults()
+	for i, e := range envs {
+		if e.NumActions() != net.NumActions() {
+			return nil, fmt.Errorf("rl: env %d has %d actions, net expects %d", i, e.NumActions(), net.NumActions())
+		}
+		if e.ObsDim() != net.ObsDim() {
+			return nil, fmt.Errorf("rl: env %d obs dim %d, net expects %d", i, e.ObsDim(), net.ObsDim())
+		}
+	}
+	t := &Trainer{
+		cfg:    cfg,
+		net:    net,
+		envs:   envs,
+		opt:    nn.NewAdam(net.Params(), cfg.LR),
+		rng:    rand.New(rand.NewSource(cfg.Seed + 0x990)),
+		curEnt: cfg.EntCoef,
+	}
+	for i := range envs {
+		t.rngs = append(t.rngs, rand.New(rand.NewSource(cfg.Seed+int64(i)*7907+13)))
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		t.workers = append(t.workers, net.Clone())
+	}
+	return t, nil
+}
+
+// Net returns the trained policy network.
+func (t *Trainer) Net() nn.PolicyValueNet { return t.net }
+
+// transition is one stored environment step.
+type transition struct {
+	obs     []float64
+	action  int
+	logp    float64
+	value   float64
+	reward  float64
+	adv     float64
+	ret     float64
+	entropy float64
+}
+
+// actorResult is one actor's rollout slice plus its episode statistics.
+type actorResult struct {
+	trans    []transition
+	episodes int
+	sumRet   float64
+	sumLen   int
+	guesses  int
+	correct  int
+}
+
+// collect gathers ~StepsPerEpoch transitions across the parallel actors,
+// always completing the final episode of each actor so GAE never needs a
+// bootstrap value.
+func (t *Trainer) collect() []actorResult {
+	perActor := (t.cfg.StepsPerEpoch + len(t.envs) - 1) / len(t.envs)
+	results := make([]actorResult, len(t.envs))
+	var wg sync.WaitGroup
+	for i := range t.envs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = t.runActor(t.envs[i], t.rngs[i], perActor)
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// runActor plays episodes until the step budget is met, computing GAE
+// returns at each episode end.
+func (t *Trainer) runActor(e *env.Env, rng *rand.Rand, budget int) actorResult {
+	var res actorResult
+	for len(res.trans) < budget {
+		start := len(res.trans)
+		obs := e.Reset()
+		done := false
+		epRet := 0.0
+		for !done {
+			logits, value := t.net.Apply(obs)
+			probs := nn.Softmax(logits)
+			// Behavior policy: μ = (1-ε)π + ε·uniform.
+			if eps := t.curEps; eps > 0 {
+				u := 1 / float64(len(probs))
+				for k := range probs {
+					probs[k] = (1-eps)*probs[k] + eps*u
+				}
+			}
+			action := nn.SampleCategorical(probs, rng)
+			next, reward, d := e.Step(action)
+			res.trans = append(res.trans, transition{
+				obs: obs, action: action,
+				logp: math.Log(probs[action]), value: value, reward: reward,
+				entropy: nn.Entropy(probs),
+			})
+			epRet += reward
+			obs = next
+			done = d
+		}
+		correct, guesses := e.EpisodeGuesses()
+		res.episodes++
+		res.sumRet += epRet
+		res.sumLen += len(res.trans) - start
+		res.guesses += guesses
+		res.correct += correct
+		t.gae(res.trans[start:])
+	}
+	return res
+}
+
+// gae fills advantages and returns for one completed episode (terminal
+// value 0).
+func (t *Trainer) gae(ep []transition) {
+	adv := 0.0
+	for i := len(ep) - 1; i >= 0; i-- {
+		nextV := 0.0
+		if i+1 < len(ep) {
+			nextV = ep[i+1].value
+		}
+		delta := ep[i].reward + t.cfg.Gamma*nextV - ep[i].value
+		adv = delta + t.cfg.Gamma*t.cfg.Lambda*adv
+		ep[i].adv = adv
+		ep[i].ret = adv + ep[i].value
+	}
+}
+
+// entCoefAt returns the annealed entropy coefficient for an epoch.
+func (t *Trainer) entCoefAt(epoch int) float64 {
+	if t.cfg.EntAnnealEpochs <= 0 || epoch >= t.cfg.EntAnnealEpochs {
+		return t.cfg.EntCoef
+	}
+	frac := float64(epoch-1) / float64(t.cfg.EntAnnealEpochs)
+	return t.cfg.EntCoefInit + (t.cfg.EntCoef-t.cfg.EntCoefInit)*frac
+}
+
+// exploreEpsAt returns the annealed uniform-mix fraction for an epoch.
+func (t *Trainer) exploreEpsAt(epoch int) float64 {
+	if t.cfg.ExploreEps <= 0 {
+		return 0
+	}
+	if t.cfg.EntAnnealEpochs <= 0 || epoch >= t.cfg.EntAnnealEpochs {
+		return 0
+	}
+	frac := float64(epoch-1) / float64(t.cfg.EntAnnealEpochs)
+	return t.cfg.ExploreEps * (1 - frac)
+}
+
+// Epoch runs one collect + update cycle and returns its statistics.
+func (t *Trainer) Epoch(epochIdx int) EpochStats {
+	t.curEnt = t.entCoefAt(epochIdx)
+	t.curEps = t.exploreEpsAt(epochIdx)
+	results := t.collect()
+	var batch []transition
+	st := EpochStats{Epoch: epochIdx}
+	entSum := 0.0
+	for _, r := range results {
+		batch = append(batch, r.trans...)
+		st.Episodes += r.episodes
+		st.MeanReward += r.sumRet
+		st.MeanLength += float64(r.sumLen)
+		st.GuessRate += float64(r.guesses)
+		st.Accuracy += float64(r.correct)
+	}
+	for _, tr := range batch {
+		entSum += tr.entropy
+	}
+	if st.Episodes > 0 {
+		st.MeanReward /= float64(st.Episodes)
+		st.MeanLength /= float64(st.Episodes)
+	}
+	if st.GuessRate > 0 {
+		st.Accuracy /= st.GuessRate // correct / guesses
+	}
+	if len(batch) > 0 {
+		st.GuessRate /= float64(len(batch)) // guesses / steps
+		st.Entropy = entSum / float64(len(batch))
+	}
+
+	t.normalizeAdvantages(batch)
+	pl, vl := t.update(batch)
+	st.PolicyLoss, st.ValueLoss = pl, vl
+	return st
+}
+
+// normalizeAdvantages standardizes advantages across the whole batch.
+func (t *Trainer) normalizeAdvantages(batch []transition) {
+	if len(batch) < 2 {
+		return
+	}
+	mean := 0.0
+	for _, tr := range batch {
+		mean += tr.adv
+	}
+	mean /= float64(len(batch))
+	vari := 0.0
+	for _, tr := range batch {
+		d := tr.adv - mean
+		vari += d * d
+	}
+	std := math.Sqrt(vari/float64(len(batch))) + 1e-8
+	for i := range batch {
+		batch[i].adv = (batch[i].adv - mean) / std
+	}
+}
+
+// update performs UpdateEpochs PPO passes over the batch and returns the
+// mean policy and value losses of the final pass.
+func (t *Trainer) update(batch []transition) (policyLoss, valueLoss float64) {
+	idx := make([]int, len(batch))
+	for i := range idx {
+		idx[i] = i
+	}
+	for pass := 0; pass < t.cfg.UpdateEpochs; pass++ {
+		t.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		passPL, passVL, passN := 0.0, 0.0, 0
+		for lo := 0; lo < len(idx); lo += t.cfg.MinibatchSize {
+			hi := lo + t.cfg.MinibatchSize
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			pl, vl := t.minibatch(batch, idx[lo:hi])
+			passPL += pl * float64(hi-lo)
+			passVL += vl * float64(hi-lo)
+			passN += hi - lo
+		}
+		if pass == t.cfg.UpdateEpochs-1 && passN > 0 {
+			policyLoss = passPL / float64(passN)
+			valueLoss = passVL / float64(passN)
+		}
+	}
+	return policyLoss, valueLoss
+}
+
+// minibatch computes PPO gradients for one minibatch (sharded across the
+// gradient workers), applies clipping and one Adam step, and returns the
+// mean losses.
+func (t *Trainer) minibatch(batch []transition, mb []int) (policyLoss, valueLoss float64) {
+	nw := len(t.workers)
+	if nw > len(mb) {
+		nw = len(mb)
+	}
+	type shardLoss struct{ pl, vl float64 }
+	losses := make([]shardLoss, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		nn.CopyWeights(t.workers[w], t.net)
+		nn.ZeroGrads(t.workers[w].Params())
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := w; k < len(mb); k += nw {
+				tr := batch[mb[k]]
+				pl, vl := t.sampleGrad(t.workers[w], tr, float64(len(mb)))
+				losses[w].pl += pl
+				losses[w].vl += vl
+			}
+		}(w)
+	}
+	wg.Wait()
+	nn.ZeroGrads(t.net.Params())
+	for w := 0; w < nw; w++ {
+		nn.AddGrads(t.net.Params(), t.workers[w].Params())
+		policyLoss += losses[w].pl
+		valueLoss += losses[w].vl
+	}
+	nn.ClipGrads(t.net.Params(), t.cfg.MaxGradNorm)
+	t.opt.Step()
+	policyLoss /= float64(len(mb))
+	valueLoss /= float64(len(mb))
+	return policyLoss, valueLoss
+}
+
+// sampleGrad computes the PPO loss gradient for one transition on the
+// given worker network, scaled by 1/batchSize.
+func (t *Trainer) sampleGrad(net nn.PolicyValueNet, tr transition, batchSize float64) (pl, vl float64) {
+	logits, value := net.Apply(tr.obs)
+	lp := nn.LogSoftmax(logits)
+	probs := nn.Softmax(logits)
+	logpNew := lp[tr.action]
+	ratio := math.Exp(logpNew - tr.logp)
+
+	// Clipped surrogate: L = -min(r·A, clip(r, 1±ε)·A).
+	var dLdLogp float64
+	unclipped := ratio * tr.adv
+	clipped := clip(ratio, 1-t.cfg.ClipEps, 1+t.cfg.ClipEps) * tr.adv
+	if t.cfg.DisableClip {
+		pl = -unclipped
+		dLdLogp = -ratio * tr.adv
+	} else if unclipped <= clipped {
+		pl = -unclipped
+		dLdLogp = -ratio * tr.adv // d(r)/d(logpNew) = r
+	} else {
+		pl = -clipped
+		dLdLogp = 0 // clip active: no gradient through the policy term
+	}
+
+	// Entropy bonus: L -= entCoef·H; dH/dlogit_k = -p_k(log p_k + H).
+	h := nn.Entropy(probs)
+
+	// Value loss: 0.5·(v - ret)².
+	vErr := value - tr.ret
+	vl = 0.5 * vErr * vErr
+
+	dLogits := make([]float64, len(logits))
+	for k := range dLogits {
+		// Policy term: dlogp_a/dlogit_k = 1{k==a} - p_k.
+		ind := 0.0
+		if k == tr.action {
+			ind = 1
+		}
+		dLogits[k] = dLdLogp * (ind - probs[k])
+		// Entropy term: subtract entCoef · dH/dlogit.
+		dLogits[k] += t.curEnt * probs[k] * (logOrZero(probs[k]) + h)
+		dLogits[k] /= batchSize
+	}
+	dValue := t.cfg.VfCoef * vErr / batchSize
+	net.Grad(tr.obs, dLogits, dValue)
+	return pl, vl
+}
+
+func clip(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func logOrZero(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return math.Log(p)
+}
+
+// Train runs epochs until the greedy policy (deterministic replay) meets
+// the target accuracy with a positive mean return for ConvergeEpochs
+// consecutive epochs, or MaxEpochs is reached. This mirrors the paper's
+// procedure: train until the per-episode reward converges positive, then
+// extract the attack by deterministic replay.
+func (t *Trainer) Train() Result {
+	var res Result
+	streak := 0
+	for epoch := 1; epoch <= t.cfg.MaxEpochs; epoch++ {
+		st := t.Epoch(epoch)
+		res.Stats = append(res.Stats, st)
+		res.Epochs = epoch
+		ev := Evaluate(t.net, t.envs[0], t.cfg.EvalEpisodes)
+		res.FinalAccuracy = ev.Accuracy
+		res.FinalLength = ev.MeanLength
+		converged := ev.Accuracy >= t.cfg.TargetAccuracy && ev.MeanReturn > 0
+		if converged {
+			if streak == 0 {
+				res.EpochsToConverge = epoch
+			}
+			streak++
+			if streak >= t.cfg.ConvergeEpochs {
+				res.Converged = true
+				return res
+			}
+		} else {
+			streak = 0
+			res.EpochsToConverge = 0
+		}
+	}
+	return res
+}

@@ -1,0 +1,151 @@
+// Package search implements the non-learning baselines of §VI-A: random
+// sequence search for distinguishing attack sequences, and the closed-form
+// expected-trials estimate M = 2(N+1)^(2N+1)/(N!)² for finding a
+// prime+probe sequence on an N-way set by chance.
+package search
+
+import (
+	"math"
+	"math/rand"
+
+	"autocat/internal/env"
+)
+
+// ExpectedTrials returns M = 2·(N+1)^(2N+1) / (N!)², the paper's estimate
+// of random sequences needed to stumble on one prime+probe attack for an
+// N-way set (§VI-A). For N = 8 this is ≈ 2.05e7.
+func ExpectedTrials(n int) float64 {
+	logM := math.Log(2) + float64(2*n+1)*math.Log(float64(n+1))
+	lf, _ := math.Lgamma(float64(n + 1))
+	logM -= 2 * lf
+	return math.Exp(logM)
+}
+
+// ExpectedSteps converts ExpectedTrials into environment steps: each
+// candidate sequence costs 2N+2 steps (§VI-A).
+func ExpectedSteps(n int) float64 {
+	return ExpectedTrials(n) * float64(2*n+2)
+}
+
+// Distinguishes reports whether the candidate prefix (actions that must
+// not include guesses) produces a distinct attacker observation vector for
+// every possible secret, i.e. whether a decision rule over the prefix's
+// hit/miss observations can always recover the secret. This is the
+// success predicate of the random-search baseline.
+func Distinguishes(e *env.Env, prefix []int) bool {
+	secrets := e.Secrets()
+	seen := map[string]bool{}
+	for _, s := range secrets {
+		e.Reset()
+		e.ForceSecret(s)
+		sig := make([]byte, 0, len(prefix))
+		for _, a := range prefix {
+			kind, _ := e.DecodeAction(a)
+			if kind == env.KindGuess || kind == env.KindGuessNone {
+				return false
+			}
+			_, _, done := e.Step(a)
+			tr := e.Trace()
+			last := tr[len(tr)-1]
+			switch {
+			case last.Kind != env.KindAccess:
+				sig = append(sig, 'n')
+			case last.Hit:
+				sig = append(sig, 'h')
+			default:
+				sig = append(sig, 'm')
+			}
+			if done {
+				return false
+			}
+		}
+		key := string(sig)
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+	}
+	return true
+}
+
+// Result summarizes one search run.
+type Result struct {
+	Found     bool
+	Sequences int // candidate sequences evaluated
+	Steps     int // total environment steps spent
+	Attack    []int
+}
+
+// RandomSearch samples uniformly random non-guess prefixes of the given
+// length until one distinguishes all secrets or the sequence budget is
+// exhausted. A warm-up-free environment is required for the predicate to
+// be sound (random warm-up would make signatures episode-dependent).
+func RandomSearch(e *env.Env, length, budget int, seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	// Enumerate the non-guess actions once.
+	var pool []int
+	for a := 0; a < e.NumActions(); a++ {
+		kind, _ := e.DecodeAction(a)
+		if kind != env.KindGuess && kind != env.KindGuessNone {
+			pool = append(pool, a)
+		}
+	}
+	var res Result
+	prefix := make([]int, length)
+	for res.Sequences < budget {
+		for i := range prefix {
+			prefix[i] = pool[rng.Intn(len(pool))]
+		}
+		res.Sequences++
+		res.Steps += len(prefix) * len(e.Secrets())
+		if Distinguishes(e, prefix) {
+			res.Found = true
+			res.Attack = append([]int(nil), prefix...)
+			return res
+		}
+	}
+	return res
+}
+
+// ExhaustiveSearch tries every prefix of the given length in
+// lexicographic order. It is only tractable for tiny configurations and
+// exists to show the search-space blowup the paper argues about.
+func ExhaustiveSearch(e *env.Env, length, budget int) Result {
+	var pool []int
+	for a := 0; a < e.NumActions(); a++ {
+		kind, _ := e.DecodeAction(a)
+		if kind != env.KindGuess && kind != env.KindGuessNone {
+			pool = append(pool, a)
+		}
+	}
+	var res Result
+	prefix := make([]int, length)
+	idx := make([]int, length)
+	for {
+		for i := range prefix {
+			prefix[i] = pool[idx[i]]
+		}
+		res.Sequences++
+		res.Steps += length * len(e.Secrets())
+		if Distinguishes(e, prefix) {
+			res.Found = true
+			res.Attack = append([]int(nil), prefix...)
+			return res
+		}
+		if res.Sequences >= budget {
+			return res
+		}
+		// Increment the odometer.
+		i := length - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(pool) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return res
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package stats provides small statistical helpers shared across the
+// AutoCAT reproduction: summary statistics, the CC-Hunter autocorrelation
+// coefficient, and Hamming distance for covert-channel error rates.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs, or 0 when fewer than
+// two samples are provided.
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Min returns the smallest element of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Autocorrelation computes the lag-p autocorrelation coefficient Cp of the
+// event train xs using the CC-Hunter / ReplayConfusion estimator
+//
+//	Cp = n * Σ_{i=0}^{n-p} (Xi - X̄)(Xi+p - X̄)  /  ((n-p) * Σ_{i=0}^{n} (Xi - X̄)²)
+//
+// A train with a strictly periodic structure yields Cp near 1 at the period.
+// The function returns 0 when the train is shorter than p+2 samples or has
+// zero variance (a constant train carries no periodicity information).
+func Autocorrelation(xs []float64, p int) float64 {
+	n := len(xs)
+	if p < 0 || n < p+2 {
+		return 0
+	}
+	mean := Mean(xs)
+	den := 0.0
+	for _, x := range xs {
+		d := x - mean
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	num := 0.0
+	for i := 0; i+p < n; i++ {
+		num += (xs[i] - mean) * (xs[i+p] - mean)
+	}
+	return float64(n) * num / (float64(n-p) * den)
+}
+
+// MaxAutocorrelation returns the maximum Cp over lags 1..maxLag, the
+// quantity CC-Hunter thresholds to flag an attack. It returns 0 when the
+// train is too short for any lag.
+func MaxAutocorrelation(xs []float64, maxLag int) float64 {
+	best := 0.0
+	for p := 1; p <= maxLag; p++ {
+		if c := Autocorrelation(xs, p); c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Autocorrelogram returns Cp for p = 0..maxLag, the series plotted in the
+// paper's Figure 3(b).
+func Autocorrelogram(xs []float64, maxLag int) []float64 {
+	out := make([]float64, maxLag+1)
+	for p := 0; p <= maxLag; p++ {
+		out[p] = Autocorrelation(xs, p)
+	}
+	return out
+}
+
+// HammingDistance counts positions at which the two bit strings differ.
+// When the lengths differ, the extra tail of the longer string counts
+// entirely as errors, matching how a truncated covert-channel transmission
+// is scored.
+func HammingDistance(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	d := 0
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	if len(a) > n {
+		d += len(a) - n
+	}
+	if len(b) > n {
+		d += len(b) - n
+	}
+	return d
+}
+
+// ErrorRate returns the Hamming distance between sent and received divided
+// by the number of transmitted bits.
+func ErrorRate(sent, recv []byte) float64 {
+	if len(sent) == 0 {
+		return 0
+	}
+	return float64(HammingDistance(sent, recv)) / float64(len(sent))
+}

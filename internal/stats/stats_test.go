@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanStd(t *testing.T) {
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", m)
+	}
+	if m := Mean([]float64{1, 2, 3, 4}); !almost(m, 2.5) {
+		t.Fatalf("Mean = %v, want 2.5", m)
+	}
+	if s := Std([]float64{5}); s != 0 {
+		t.Fatalf("Std of one sample = %v, want 0", s)
+	}
+	if s := Std([]float64{2, 2, 2, 2}); !almost(s, 0) {
+		t.Fatalf("Std of constant = %v, want 0", s)
+	}
+	if s := Std([]float64{1, -1, 1, -1}); !almost(s, 1) {
+		t.Fatalf("Std = %v, want 1", s)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -2, 7, 0}
+	if v := Min(xs); v != -2 {
+		t.Fatalf("Min = %v", v)
+	}
+	if v := Max(xs); v != 7 {
+		t.Fatalf("Max = %v", v)
+	}
+}
+
+func TestAutocorrelationPeriodicTrain(t *testing.T) {
+	// A strictly alternating train 0,1,0,1,... has strong lag-2
+	// correlation and strong negative lag-1 correlation.
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = float64(i % 2)
+	}
+	if c := Autocorrelation(xs, 2); c < 0.9 {
+		t.Fatalf("lag-2 autocorrelation of alternating train = %v, want ~1", c)
+	}
+	if c := Autocorrelation(xs, 1); c > -0.9 {
+		t.Fatalf("lag-1 autocorrelation of alternating train = %v, want ~-1", c)
+	}
+}
+
+func TestAutocorrelationDegenerate(t *testing.T) {
+	if c := Autocorrelation([]float64{1, 1, 1, 1}, 1); c != 0 {
+		t.Fatalf("constant train should yield 0, got %v", c)
+	}
+	if c := Autocorrelation([]float64{1, 0}, 5); c != 0 {
+		t.Fatalf("too-short train should yield 0, got %v", c)
+	}
+	if c := Autocorrelation(nil, 1); c != 0 {
+		t.Fatalf("empty train should yield 0, got %v", c)
+	}
+}
+
+func TestAutocorrelationLagZeroIsOne(t *testing.T) {
+	xs := []float64{0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0}
+	if c := Autocorrelation(xs, 0); !almost(c, 1) {
+		t.Fatalf("lag-0 autocorrelation = %v, want 1", c)
+	}
+}
+
+func TestMaxAutocorrelationFindsPeriod(t *testing.T) {
+	// Period-3 pattern.
+	xs := make([]float64, 90)
+	for i := range xs {
+		if i%3 == 0 {
+			xs[i] = 1
+		}
+	}
+	if c := MaxAutocorrelation(xs, 10); c < 0.9 {
+		t.Fatalf("period-3 train max autocorr = %v, want ~1", c)
+	}
+	if got := len(Autocorrelogram(xs, 10)); got != 11 {
+		t.Fatalf("autocorrelogram length = %d, want 11", got)
+	}
+}
+
+func TestPropertyAutocorrelationOfRandomTrainIsModest(t *testing.T) {
+	f := func(seed int64) bool {
+		// Pseudo-random ±1 train via a simple LCG from the seed.
+		x := uint64(seed)
+		xs := make([]float64, 256)
+		for i := range xs {
+			x = x*6364136223846793005 + 1442695040888963407
+			xs[i] = float64(x >> 63)
+		}
+		// Random trains should not look strongly periodic.
+		return MaxAutocorrelation(xs, 20) < 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	if d := HammingDistance([]byte{0, 1, 1, 0}, []byte{0, 1, 1, 0}); d != 0 {
+		t.Fatalf("identical strings distance = %d", d)
+	}
+	if d := HammingDistance([]byte{0, 1, 1, 0}, []byte{1, 1, 0, 0}); d != 2 {
+		t.Fatalf("distance = %d, want 2", d)
+	}
+	if d := HammingDistance([]byte{0, 1, 1}, []byte{0}); d != 2 {
+		t.Fatalf("length mismatch distance = %d, want 2", d)
+	}
+}
+
+func TestErrorRate(t *testing.T) {
+	if r := ErrorRate(nil, nil); r != 0 {
+		t.Fatalf("empty error rate = %v", r)
+	}
+	if r := ErrorRate([]byte{0, 0, 0, 0}, []byte{0, 1, 0, 1}); !almost(r, 0.5) {
+		t.Fatalf("error rate = %v, want 0.5", r)
+	}
+}

@@ -1,0 +1,116 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// separableSet builds a linearly separable 2-D dataset: class +1 around
+// (3,3), class -1 around (-3,-3).
+func separableSet(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, 0, 2*n)
+	y := make([]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		X = append(X, []float64{3 + rng.NormFloat64()*0.5, 3 + rng.NormFloat64()*0.5})
+		y = append(y, 1)
+		X = append(X, []float64{-3 + rng.NormFloat64()*0.5, -3 + rng.NormFloat64()*0.5})
+		y = append(y, -1)
+	}
+	return X, y
+}
+
+func TestTrainSeparable(t *testing.T) {
+	X, y := separableSet(100, 1)
+	m, err := Train(X, y, TrainConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(X, y); acc < 0.99 {
+		t.Fatalf("training accuracy on separable data = %v, want ~1", acc)
+	}
+}
+
+func TestTrainInputValidation(t *testing.T) {
+	if _, err := Train(nil, nil, TrainConfig{}); err == nil {
+		t.Fatal("empty training set must error")
+	}
+	if _, err := Train([][]float64{{1}}, []int{1, -1}, TrainConfig{}); err == nil {
+		t.Fatal("row/label mismatch must error")
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, []int{1, -1}, TrainConfig{}); err == nil {
+		t.Fatal("ragged rows must error")
+	}
+	if _, err := Train([][]float64{{1}, {2}}, []int{1, 0}, TrainConfig{}); err == nil {
+		t.Fatal("labels outside {-1,1} must error")
+	}
+}
+
+func TestPredictMatchesDecisionSign(t *testing.T) {
+	m := &Model{W: []float64{1, -2}, B: 0.5}
+	f := func(a, b float64) bool {
+		x := []float64{a, b}
+		p := m.Predict(x)
+		d := m.Decision(x)
+		return (d > 0 && p == 1) || (d <= 0 && p == -1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossValidateSeparable(t *testing.T) {
+	X, y := separableSet(60, 3)
+	acc, err := CrossValidate(X, y, 5, TrainConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("5-fold CV accuracy = %v, want > 0.95", acc)
+	}
+}
+
+func TestCrossValidateValidation(t *testing.T) {
+	X, y := separableSet(4, 5)
+	if _, err := CrossValidate(X, y, 1, TrainConfig{}); err == nil {
+		t.Fatal("k < 2 must error")
+	}
+	if _, err := CrossValidate(X[:3], y[:3], 5, TrainConfig{}); err == nil {
+		t.Fatal("too few samples must error")
+	}
+}
+
+func TestTrainNonSeparableStillReasonable(t *testing.T) {
+	// Overlapping classes: expect accuracy well above chance but below 1.
+	rng := rand.New(rand.NewSource(9))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		X = append(X, []float64{1 + rng.NormFloat64()*2})
+		y = append(y, 1)
+		X = append(X, []float64{-1 + rng.NormFloat64()*2})
+		y = append(y, -1)
+	}
+	m, err := Train(X, y, TrainConfig{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(X, y); acc < 0.6 {
+		t.Fatalf("accuracy on overlapping classes = %v, want > 0.6", acc)
+	}
+}
+
+func TestTrainDeterministicPerSeed(t *testing.T) {
+	X, y := separableSet(50, 7)
+	m1, _ := Train(X, y, TrainConfig{Seed: 11})
+	m2, _ := Train(X, y, TrainConfig{Seed: 11})
+	for i := range m1.W {
+		if m1.W[i] != m2.W[i] {
+			t.Fatal("same seed must give identical weights")
+		}
+	}
+	if m1.B != m2.B {
+		t.Fatal("same seed must give identical bias")
+	}
+}

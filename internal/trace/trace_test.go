@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"testing"
+
+	"autocat/internal/cache"
+)
+
+func TestProgramsStayInRange(t *testing.T) {
+	for _, p := range Patterns {
+		t.Run(string(p), func(t *testing.T) {
+			prog := NewProgram(p, 4, 11, 1)
+			for i := 0; i < 1000; i++ {
+				a := prog.Next()
+				if a < 4 || a > 11 {
+					t.Fatalf("pattern %s produced out-of-range address %d", p, a)
+				}
+			}
+		})
+	}
+}
+
+func TestSequentialWrapsInOrder(t *testing.T) {
+	prog := NewProgram(Sequential, 0, 3, 1)
+	want := []cache.Addr{0, 1, 2, 3, 0, 1}
+	for i, w := range want {
+		if got := prog.Next(); got != w {
+			t.Fatalf("sequential access %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestPointerChaseVisitsEveryAddress(t *testing.T) {
+	prog := NewProgram(PointerChase, 0, 7, 2)
+	seen := map[cache.Addr]bool{}
+	for i := 0; i < 8; i++ {
+		seen[prog.Next()] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("pointer chase over 8 addresses visited %d distinct in one cycle", len(seen))
+	}
+}
+
+func TestZipfSkewsTowardHead(t *testing.T) {
+	prog := NewProgram(Zipf, 0, 15, 3)
+	counts := make([]int, 16)
+	for i := 0; i < 5000; i++ {
+		counts[prog.Next()]++
+	}
+	if counts[0] <= counts[15] {
+		t.Fatalf("zipf head count %d should exceed tail count %d", counts[0], counts[15])
+	}
+	if counts[0] < 800 {
+		t.Fatalf("zipf head count %d too small for s=1.2", counts[0])
+	}
+}
+
+func TestBenignTraceProperties(t *testing.T) {
+	tr := Benign(BenignConfig{Length: 500, AddrSpace: 16, Seed: 4})
+	if len(tr) != 500 {
+		t.Fatalf("trace length = %d, want 500", len(tr))
+	}
+	doms := map[cache.Domain]int{}
+	for _, a := range tr {
+		if a.Addr < 0 || a.Addr > 15 {
+			t.Fatalf("address %d outside space", a.Addr)
+		}
+		doms[a.Dom]++
+	}
+	if doms[cache.DomainAttacker] == 0 || doms[cache.DomainVictim] == 0 {
+		t.Fatalf("benign trace should interleave two domains, got %v", doms)
+	}
+}
+
+func TestBenignSuiteDistinctSeeds(t *testing.T) {
+	suite := BenignSuite(3, BenignConfig{Length: 100, AddrSpace: 16, Seed: 5})
+	if len(suite) != 3 {
+		t.Fatalf("suite size = %d", len(suite))
+	}
+	same := true
+	for i := range suite[0] {
+		if suite[0][i] != suite[1][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("suite traces should differ across seeds")
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	// hi < lo collapses to a single address; generators must not panic.
+	for _, p := range Patterns {
+		prog := NewProgram(p, 5, 2, 6)
+		for i := 0; i < 10; i++ {
+			if a := prog.Next(); a != 5 {
+				t.Fatalf("single-address program produced %d", a)
+			}
+		}
+	}
+}
