@@ -25,11 +25,13 @@
 package autocat
 
 import (
+	"context"
 	"io"
 
 	"autocat/internal/agents"
 	"autocat/internal/analysis"
 	"autocat/internal/cache"
+	"autocat/internal/campaign"
 	"autocat/internal/core"
 	"autocat/internal/covert"
 	"autocat/internal/detect"
@@ -317,6 +319,51 @@ func StealthyStateTrace(cfg ChannelConfig, symbol int) ([]string, error) {
 // reports bit rate and error rate (Table X).
 func MeasureCovert(m CovertMachine, stealthy bool, symbolBits, nbits, repeats int, seed int64) (Transmission, error) {
 	return covert.MeasureOnMachine(m, stealthy, symbolBits, nbits, repeats, seed)
+}
+
+// Campaign surface (internal/campaign) — parallel scenario-sweep
+// orchestration with a sharded, deduplicating attack catalog.
+type (
+	// CampaignSpec declares a scenario grid plus explicit scenarios.
+	CampaignSpec = campaign.Spec
+	// CampaignScenario is one fully specified exploration job.
+	CampaignScenario = campaign.Scenario
+	// CampaignAddrRange is an inclusive address range used as a grid axis.
+	CampaignAddrRange = campaign.AddrRange
+	// CampaignJob is one schedulable unit of an expanded campaign.
+	CampaignJob = campaign.Job
+	// CampaignJobResult is the persisted outcome of one job.
+	CampaignJobResult = campaign.JobResult
+	// CampaignRunConfig controls workers, checkpointing, and resume.
+	CampaignRunConfig = campaign.RunConfig
+	// CampaignResult is a completed (or interrupted) campaign.
+	CampaignResult = campaign.Result
+	// CampaignProgress is one progress event during a campaign.
+	CampaignProgress = campaign.Progress
+	// Catalog is the sharded, deduplicating attack store.
+	Catalog = campaign.Catalog
+	// CatalogEntry is one deduplicated attack with aggregate stats.
+	CatalogEntry = campaign.Entry
+)
+
+// RunCampaign expands the spec and executes it on a bounded worker pool;
+// see campaign.Run. Cancelling the context stops dispatch, and rerunning
+// with CampaignRunConfig.Resume skips checkpointed jobs.
+func RunCampaign(ctx context.Context, spec CampaignSpec, rc CampaignRunConfig) (*CampaignResult, error) {
+	return campaign.Run(ctx, spec, rc)
+}
+
+// NewCatalog returns an empty attack catalog.
+func NewCatalog() *Catalog { return campaign.NewCatalog() }
+
+// CanonicalizeAttack renders an attack sequence in the
+// configuration-independent normal form the catalog deduplicates on.
+func CanonicalizeAttack(e *Env, actions []int) string { return campaign.Canonicalize(e, actions) }
+
+// CampaignWriterProgress returns a progress callback printing one line
+// per completed job to w.
+func CampaignWriterProgress(w io.Writer) func(CampaignProgress) {
+	return campaign.WriterProgress(w)
 }
 
 // Analysis and search surfaces.

@@ -1,6 +1,7 @@
 package autocat_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -181,5 +182,43 @@ func TestFacadeBenignSuite(t *testing.T) {
 	suite := autocat.BenignSuite(2, autocat.BenignConfig{Length: 100, AddrSpace: 16, Seed: 6})
 	if len(suite) != 2 || len(suite[0]) != 100 {
 		t.Fatalf("benign suite shape wrong: %d traces", len(suite))
+	}
+}
+
+func TestFacadeCampaign(t *testing.T) {
+	spec := autocat.CampaignSpec{
+		Name:           "facade",
+		Caches:         []autocat.CacheConfig{{NumBlocks: 1, NumWays: 1}},
+		Attackers:      []autocat.CampaignAddrRange{{Lo: 1, Hi: 1}},
+		Victims:        []autocat.CampaignAddrRange{{Lo: 0, Hi: 0}},
+		Seeds:          []int64{1, 2, 3},
+		VictimNoAccess: true,
+		WindowSize:     6,
+	}
+	// A stub runner keeps the facade test free of RL training.
+	res, err := autocat.RunCampaign(context.Background(), spec, autocat.CampaignRunConfig{
+		Workers: 2,
+		Runner: func(ctx context.Context, job autocat.CampaignJob) autocat.CampaignJobResult {
+			return autocat.CampaignJobResult{
+				Sequence:  "1→v→1→g0",
+				Canonical: "A0 V A0 G0",
+				Category:  "prime+probe",
+				Converged: true,
+				Accuracy:  1,
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 3 {
+		t.Fatalf("completed = %d, want 3", res.Completed)
+	}
+	if res.Catalog.Len() != 1 {
+		t.Fatalf("catalog entries = %d, want 1 (all jobs find the same attack)", res.Catalog.Len())
+	}
+	e := res.Catalog.Entries()[0]
+	if e.Count != 3 || e.Category != "prime+probe" {
+		t.Fatalf("catalog entry wrong: %+v", e)
 	}
 }

@@ -7,7 +7,9 @@
 package autocat_test
 
 import (
+	"context"
 	"os"
+	"runtime"
 	"testing"
 
 	"autocat"
@@ -128,6 +130,54 @@ func BenchmarkAblationWarmup(b *testing.B) {
 				warmup, res.Train.Converged, res.Train.Epochs, res.Eval.Accuracy)
 		}
 	}
+}
+
+// Campaign-throughput benchmarks: the same tiny 8-job grid (one-bit
+// channels at eight seeds) at different worker-pool sizes, reporting
+// jobs/sec. Per-trainer parallelism divides by the pool size, so the
+// comparison isolates orchestration overhead and scheduling.
+
+func benchCampaignSpec() autocat.CampaignSpec {
+	return autocat.CampaignSpec{
+		Name:           "bench",
+		Caches:         []autocat.CacheConfig{{NumBlocks: 1, NumWays: 1}},
+		Attackers:      []autocat.CampaignAddrRange{{Lo: 1, Hi: 1}},
+		Victims:        []autocat.CampaignAddrRange{{Lo: 0, Hi: 0}},
+		Seeds:          []int64{1, 2, 3, 4, 5, 6, 7, 8},
+		VictimNoAccess: true,
+		WindowSize:     6,
+		Warmup:         -1,
+		Epochs:         10,
+		StepsPerEpoch:  256,
+		Envs:           2,
+	}
+}
+
+func benchCampaign(b *testing.B, workers int) {
+	b.Helper()
+	spec := benchCampaignSpec()
+	jobs := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := autocat.RunCampaign(context.Background(), spec, autocat.CampaignRunConfig{
+			Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed > 0 {
+			b.Fatalf("%d jobs failed", res.Failed)
+		}
+		jobs += res.Completed
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+func BenchmarkCampaignWorkers1(b *testing.B) { benchCampaign(b, 1) }
+func BenchmarkCampaignWorkers4(b *testing.B) { benchCampaign(b, 4) }
+func BenchmarkCampaignWorkersNumCPU(b *testing.B) {
+	benchCampaign(b, runtime.NumCPU())
 }
 
 // Micro-benchmarks of the substrates.

@@ -1,0 +1,259 @@
+// Command autocat-campaign runs scenario-sweep campaigns: it expands a
+// declarative grid spec into exploration jobs, executes them on a
+// bounded worker pool, deduplicates the discovered attacks in the
+// sharded catalog, and checkpoints results so an interrupted campaign
+// resumes with -resume.
+//
+// The grid comes either from a JSON spec file (-spec) or from the grid
+// flags; -dump-spec prints the assembled spec as JSON for editing.
+//
+// Examples:
+//
+//	autocat-campaign -policies lru,plru -prefetchers none,nextline \
+//	    -blocks 4 -ways 4 -attackers 0-3 -victims 0-0 -flush -no-access \
+//	    -seeds 1,2 -epochs 30 -workers 4
+//	autocat-campaign -spec sweep.json -workers 8 -resume
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"autocat"
+)
+
+func main() {
+	fs := flag.NewFlagSet("autocat-campaign", flag.ExitOnError)
+	specPath := fs.String("spec", "", "campaign spec JSON file (overrides the grid flags)")
+	dumpSpec := fs.Bool("dump-spec", false, "print the assembled spec as JSON and exit")
+	workers := fs.Int("workers", runtime.NumCPU(), "worker pool size")
+	checkpoint := fs.String("checkpoint", "campaign.jsonl", "JSONL results file (empty disables persistence)")
+	resume := fs.Bool("resume", false, "skip jobs already recorded in the checkpoint")
+	scale := fs.Float64("scale", 1, "epoch budget multiplier")
+	quiet := fs.Bool("quiet", false, "suppress per-job progress lines")
+
+	// Grid flags, used when -spec is absent.
+	name := fs.String("name", "cli", "campaign name")
+	blocks := fs.Int("blocks", 4, "cache blocks per geometry")
+	ways := fs.Int("ways", 4, "cache ways per geometry")
+	policies := fs.String("policies", "lru", "comma-separated replacement policies (lru,plru,rrip,random)")
+	prefetchers := fs.String("prefetchers", "none", "comma-separated prefetchers (none,nextline,stream)")
+	attackers := fs.String("attackers", "0-3", "comma-separated attacker address ranges (lo-hi)")
+	victims := fs.String("victims", "0-0", "comma-separated victim address ranges (lo-hi)")
+	detectors := fs.String("detectors", "", "comma-separated detectors (none,missbased,cchunter)")
+	defenses := fs.String("defenses", "", "comma-separated defenses (none,plcache)")
+	stepRewards := fs.String("step-rewards", "", "comma-separated step-reward axis (e.g. -0.02,-0.01)")
+	seeds := fs.String("seeds", "1", "comma-separated seed axis")
+	flush := fs.Bool("flush", true, "enable the flush instruction")
+	noAccess := fs.Bool("no-access", true, "victim may make no access (0/E secrets)")
+	window := fs.Int("window", 0, "observation window (0 = auto)")
+	warmup := fs.Int("warmup", 0, "random warm-up accesses per episode (0 = auto, negative disables)")
+	epochs := fs.Int("epochs", 60, "full-scale training epochs per job")
+	steps := fs.Int("steps-per-epoch", 3000, "PPO steps per epoch")
+	fs.Parse(os.Args[1:])
+
+	spec, err := buildSpec(*specPath, gridFlags{
+		name: *name, blocks: *blocks, ways: *ways,
+		policies: *policies, prefetchers: *prefetchers,
+		attackers: *attackers, victims: *victims,
+		detectors: *detectors, defenses: *defenses,
+		stepRewards: *stepRewards, seeds: *seeds,
+		flush: *flush, noAccess: *noAccess,
+		window: *window, warmup: *warmup, epochs: *epochs, steps: *steps,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpSpec {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(spec); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	jobs, skipped, err := spec.Expand()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("campaign %q: %d jobs (%d invalid grid points skipped), %d workers\n",
+		spec.Name, len(jobs), skipped, *workers)
+
+	// Ctrl-C stops dispatch; in-flight jobs finish and checkpoint, so a
+	// later -resume run picks up cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rc := autocat.CampaignRunConfig{
+		Workers:    *workers,
+		Checkpoint: *checkpoint,
+		Resume:     *resume,
+		Scale:      *scale,
+	}
+	if !*quiet {
+		rc.Progress = autocat.CampaignWriterProgress(os.Stdout)
+	}
+	res, err := autocat.RunCampaign(ctx, spec, rc)
+	if err != nil && res == nil {
+		fatal(err)
+	}
+	printSummary(res)
+	if err != nil {
+		fmt.Printf("interrupted (%v): %d/%d jobs done; rerun with -resume to continue\n",
+			err, res.Resumed+res.Completed, len(res.Jobs))
+		os.Exit(1)
+	}
+}
+
+type gridFlags struct {
+	name                          string
+	blocks, ways                  int
+	policies, prefetchers         string
+	attackers, victims            string
+	detectors, defenses           string
+	stepRewards, seeds            string
+	flush, noAccess               bool
+	window, warmup, epochs, steps int
+}
+
+func buildSpec(path string, g gridFlags) (autocat.CampaignSpec, error) {
+	if path != "" {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return autocat.CampaignSpec{}, err
+		}
+		var spec autocat.CampaignSpec
+		if err := json.Unmarshal(blob, &spec); err != nil {
+			return autocat.CampaignSpec{}, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		return spec, nil
+	}
+
+	spec := autocat.CampaignSpec{
+		Name:           g.name,
+		Caches:         []autocat.CacheConfig{{NumBlocks: g.blocks, NumWays: g.ways}},
+		FlushEnable:    g.flush,
+		VictimNoAccess: g.noAccess,
+		WindowSize:     g.window,
+		Warmup:         g.warmup,
+		Epochs:         g.epochs,
+		StepsPerEpoch:  g.steps,
+	}
+	for _, p := range splitCSV(g.policies) {
+		spec.Policies = append(spec.Policies, autocat.PolicyKind(p))
+	}
+	for _, p := range splitCSV(g.prefetchers) {
+		spec.Prefetchers = append(spec.Prefetchers, autocat.PrefetcherKind(p))
+	}
+	var err error
+	if spec.Attackers, err = parseRanges(g.attackers); err != nil {
+		return spec, fmt.Errorf("-attackers: %w", err)
+	}
+	if spec.Victims, err = parseRanges(g.victims); err != nil {
+		return spec, fmt.Errorf("-victims: %w", err)
+	}
+	for _, d := range splitCSV(g.detectors) {
+		if d == "none" {
+			d = ""
+		}
+		spec.Detectors = append(spec.Detectors, d)
+	}
+	for _, d := range splitCSV(g.defenses) {
+		if d == "none" {
+			d = ""
+		}
+		spec.Defenses = append(spec.Defenses, d)
+	}
+	for _, s := range splitCSV(g.stepRewards) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return spec, fmt.Errorf("-step-rewards: %w", err)
+		}
+		spec.StepRewards = append(spec.StepRewards, v)
+	}
+	for _, s := range splitCSV(g.seeds) {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return spec, fmt.Errorf("-seeds: %w", err)
+		}
+		spec.Seeds = append(spec.Seeds, v)
+	}
+	return spec, nil
+}
+
+func splitCSV(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		out = append(out, strings.TrimSpace(part))
+	}
+	return out
+}
+
+// parseRanges parses "0-3,4-7" into address ranges; a bare number is a
+// single-address range.
+func parseRanges(s string) ([]autocat.CampaignAddrRange, error) {
+	var out []autocat.CampaignAddrRange
+	for _, part := range splitCSV(s) {
+		lo, hi, found := strings.Cut(part, "-")
+		if !found {
+			hi = lo
+		}
+		l, err := strconv.Atoi(strings.TrimSpace(lo))
+		if err != nil {
+			return nil, fmt.Errorf("bad range %q", part)
+		}
+		h, err := strconv.Atoi(strings.TrimSpace(hi))
+		if err != nil {
+			return nil, fmt.Errorf("bad range %q", part)
+		}
+		out = append(out, autocat.CampaignAddrRange{Lo: l, Hi: h})
+	}
+	return out, nil
+}
+
+func printSummary(res *autocat.CampaignResult) {
+	fmt.Printf("\n%-40s %-9s %8s %7s  %s\n", "Scenario", "Converged", "Accuracy", "Time", "Attack (category)")
+	for _, jr := range res.Jobs {
+		if jr.JobID == "" {
+			fmt.Printf("%-40s (not run)\n", jr.Name)
+			continue
+		}
+		if jr.Error != "" {
+			fmt.Printf("%-40s error: %s\n", jr.Name, jr.Error)
+			continue
+		}
+		attack := "-"
+		if jr.Sequence != "" {
+			attack = fmt.Sprintf("%s (%s)", jr.Sequence, jr.Category)
+		}
+		fmt.Printf("%-40s %-9v %8.3f %6.1fs  %s\n",
+			jr.Name, jr.Converged, jr.Accuracy, float64(jr.DurationMS)/1000, attack)
+	}
+
+	total, _ := res.Catalog.Stats()
+	fmt.Printf("\ncatalog: %d distinct attacks, %d rediscoveries, %d jobs run, %d resumed, %d failed, %s elapsed\n",
+		total.Entries, total.Hits, res.Completed, res.Resumed, res.Failed,
+		res.Elapsed.Round(100*time.Millisecond))
+	for _, e := range res.Catalog.Entries() {
+		fmt.Printf("  %3d× %-28s %-24s best acc %.3f  e.g. %s\n",
+			e.Count, e.Category, e.Key, e.BestAccuracy, e.Sequence)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "autocat-campaign:", err)
+	os.Exit(1)
+}

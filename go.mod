@@ -1,0 +1,3 @@
+module autocat
+
+go 1.24

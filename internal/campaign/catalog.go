@@ -1,0 +1,205 @@
+package campaign
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"strings"
+	"sync"
+
+	"autocat/internal/cache"
+	"autocat/internal/env"
+)
+
+// catalogShards is the stripe count of the attack catalog. Power of two
+// so the shard index is a mask of the key hash; 64 stripes keep
+// contention negligible even with a worker per hardware thread.
+const catalogShards = 64
+
+// Entry is one deduplicated attack in the catalog: a canonical sequence
+// plus aggregate statistics over every job that rediscovered it.
+type Entry struct {
+	// Key is the canonicalized attack sequence (see Canonicalize).
+	Key string `json:"key"`
+	// Sequence is the first concrete sequence observed for the key, in
+	// the paper's arrow notation.
+	Sequence string `json:"sequence"`
+	// Category is the Table I classification of the first observation.
+	Category string `json:"category"`
+	// Count is the number of jobs that produced this attack.
+	Count int `json:"count"`
+	// Jobs lists the names of the jobs that produced it, in arrival
+	// order.
+	Jobs []string `json:"jobs"`
+	// BestAccuracy is the highest greedy accuracy any producing job
+	// achieved.
+	BestAccuracy float64 `json:"best_accuracy"`
+}
+
+// ShardStats reports one stripe's dedup statistics: a hit is an insert
+// that found its key already present (a rediscovered attack), a miss is
+// an insert that created a new entry (a novel attack).
+type ShardStats struct {
+	Entries int
+	Hits    uint64
+	Misses  uint64
+}
+
+// catalogShard is one mutex-striped partition, in the spirit of the
+// sharded LRU caches this design borrows from: a small map guarded by
+// its own lock so concurrent workers rarely contend.
+type catalogShard struct {
+	mu      sync.Mutex
+	entries map[string]*Entry
+	hits    uint64
+	misses  uint64
+}
+
+// Catalog is the concurrency-safe deduplicating attack store. Keys are
+// canonicalized attack sequences; values aggregate every job that
+// produced the same canonical attack.
+type Catalog struct {
+	seed   maphash.Seed
+	shards [catalogShards]catalogShard
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	c := &Catalog{seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*Entry)
+	}
+	return c
+}
+
+func (c *Catalog) shard(key string) *catalogShard {
+	return &c.shards[maphash.String(c.seed, key)&(catalogShards-1)]
+}
+
+// Record inserts one attack observation and reports whether it was
+// novel (first time the canonical key was seen).
+func (c *Catalog) Record(key, sequence, category, job string, accuracy float64) (novel bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.misses++
+		s.entries[key] = &Entry{
+			Key:          key,
+			Sequence:     sequence,
+			Category:     category,
+			Count:        1,
+			Jobs:         []string{job},
+			BestAccuracy: accuracy,
+		}
+		return true
+	}
+	s.hits++
+	e.Count++
+	e.Jobs = append(e.Jobs, job)
+	if accuracy > e.BestAccuracy {
+		e.BestAccuracy = accuracy
+	}
+	return false
+}
+
+// Len returns the number of distinct attacks.
+func (c *Catalog) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Entries returns a deep-copied snapshot sorted by rediscovery count
+// (descending) then key, so summaries are deterministic.
+func (c *Catalog) Entries() []Entry {
+	var out []Entry
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, e := range s.entries {
+			cp := *e
+			cp.Jobs = append([]string(nil), e.Jobs...)
+			out = append(out, cp)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Stats returns per-shard dedup statistics plus the aggregate; the
+// aggregate hit count is the number of rediscovered attacks across the
+// campaign.
+func (c *Catalog) Stats() (total ShardStats, perShard []ShardStats) {
+	perShard = make([]ShardStats, catalogShards)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		perShard[i] = ShardStats{Entries: len(s.entries), Hits: s.hits, Misses: s.misses}
+		s.mu.Unlock()
+		total.Entries += perShard[i].Entries
+		total.Hits += perShard[i].Hits
+		total.Misses += perShard[i].Misses
+	}
+	return total, perShard
+}
+
+// Canonicalize renders an attack sequence in a configuration-independent
+// normal form so equivalent attacks found under different address
+// layouts deduplicate: attacker addresses are relabelled in order of
+// first appearance, guesses are expressed as offsets into the victim
+// range, and the victim trigger and no-access guess keep fixed symbols.
+// Addresses the attacker shares with the victim's range carry an "s"
+// suffix — whether a probe can reload the victim's own line (the
+// flush/evict+reload family) or only conflict with it (prime+probe) is
+// part of the attack's identity, so sequences that differ in it must
+// not collide. The paper's "7→4→5→v→7→5→4→g0" and the same attack
+// found at "0→1→2→v→0→2→1→g4" both canonicalize to
+// "A0 A1 A2 V A0 A2 A1 G0".
+func Canonicalize(e *env.Env, actions []int) string {
+	cfg := e.Config()
+	rename := map[cache.Addr]int{}
+	label := func(a cache.Addr) string {
+		n, ok := rename[a]
+		if !ok {
+			n = len(rename)
+			rename[a] = n
+		}
+		if a >= cfg.VictimLo && a <= cfg.VictimHi {
+			return fmt.Sprintf("%ds", n)
+		}
+		return fmt.Sprintf("%d", n)
+	}
+	var b strings.Builder
+	for i, act := range actions {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		kind, addr := e.DecodeAction(act)
+		switch kind {
+		case env.KindAccess:
+			b.WriteString("A" + label(addr))
+		case env.KindFlush:
+			b.WriteString("F" + label(addr))
+		case env.KindVictim:
+			b.WriteByte('V')
+		case env.KindGuess:
+			fmt.Fprintf(&b, "G%d", int(addr-cfg.VictimLo))
+		case env.KindGuessNone:
+			b.WriteString("GE")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+)
+
+// LoadCheckpoint reads a JSONL results file into a map keyed by job ID,
+// keeping the last record per ID. A missing file is an empty
+// checkpoint. A torn final line — the signature of a killed campaign —
+// is ignored; any earlier malformed line is an error, since it means
+// the file is not a campaign checkpoint.
+func LoadCheckpoint(path string) (map[string]JobResult, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return map[string]JobResult{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := map[string]JobResult{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	var pendingErr error
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// The malformed line was not the last one: corrupt file.
+			return nil, pendingErr
+		}
+		var jr JobResult
+		if err := json.Unmarshal(line, &jr); err != nil || jr.JobID == "" {
+			pendingErr = fmt.Errorf("campaign: checkpoint %s line %d is not a job result", path, lineNo)
+			continue
+		}
+		out[jr.JobID] = jr
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// checkpointWriter appends job results to a JSONL file, syncing after
+// every record so a killed process loses at most the in-flight jobs.
+type checkpointWriter struct {
+	f *os.File
+}
+
+func newCheckpointWriter(path string) (*checkpointWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	// A process killed mid-write leaves a torn final line. Truncate it
+	// before appending: otherwise the next record would concatenate
+	// onto the fragment, turning a tolerated torn tail into mid-file
+	// corruption that poisons every later resume.
+	end, err := truncateTornTail(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(end, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &checkpointWriter{f: f}, nil
+}
+
+// truncateTornTail repairs a file whose final line has no newline and
+// returns the resulting size. A tail that parses as a complete job
+// result just lost its terminator to a partial write — LoadCheckpoint
+// accepts it, so deleting it would silently drop a finished job;
+// re-terminate it instead. Anything else is a torn fragment and is cut
+// back to the previous newline.
+func truncateTornTail(f *os.File) (int64, error) {
+	blob, err := io.ReadAll(f)
+	if err != nil {
+		return 0, err
+	}
+	end := int64(len(blob))
+	if end == 0 || blob[end-1] == '\n' {
+		return end, nil
+	}
+	cut := int64(bytes.LastIndexByte(blob, '\n') + 1)
+	var jr JobResult
+	if json.Unmarshal(blob[cut:], &jr) == nil && jr.JobID != "" {
+		if _, err := f.WriteAt([]byte("\n"), end); err != nil {
+			return 0, err
+		}
+		return end + 1, nil
+	}
+	if err := f.Truncate(cut); err != nil {
+		return 0, err
+	}
+	return cut, nil
+}
+
+// Append writes one result line. Callers serialize calls (the scheduler
+// holds its lock).
+func (w *checkpointWriter) Append(jr JobResult) error {
+	blob, err := json.Marshal(jr)
+	if err != nil {
+		return err
+	}
+	if _, err := w.f.Write(append(blob, '\n')); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *checkpointWriter) Close() error { return w.f.Close() }

@@ -1,0 +1,384 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"autocat/internal/core"
+	"autocat/internal/detect"
+	"autocat/internal/rl"
+)
+
+// JobResult is the persisted outcome of one job; it carries everything
+// needed to rebuild the catalog on resume without re-running the job.
+type JobResult struct {
+	JobID string `json:"job_id"`
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	Seed  int64  `json:"seed"`
+	// Error is the job failure, empty on success.
+	Error string `json:"error,omitempty"`
+	// Sequence is the extracted attack in arrow notation; empty when no
+	// correct attack could be extracted.
+	Sequence string `json:"sequence,omitempty"`
+	// Canonical is the catalog key of the attack (see Canonicalize).
+	Canonical string `json:"canonical,omitempty"`
+	// Category is the Table I classification.
+	Category string `json:"category,omitempty"`
+	// Expected is the scenario's predicted category, when declared.
+	Expected         string  `json:"expected,omitempty"`
+	Converged        bool    `json:"converged"`
+	Epochs           int     `json:"epochs"`
+	EpochsToConverge int     `json:"epochs_to_converge,omitempty"`
+	Accuracy         float64 `json:"accuracy"`
+	MeanLength       float64 `json:"mean_length"`
+	DurationMS       int64   `json:"duration_ms"`
+}
+
+// Progress is one campaign progress event, emitted after every job
+// completion (including jobs skipped via resume, which are reported
+// once up front).
+type Progress struct {
+	// Done counts finished jobs, including resumed ones.
+	Done int
+	// Total is the campaign's job count.
+	Total int
+	// Resumed counts jobs restored from the checkpoint.
+	Resumed int
+	// Result is the job that just finished; nil for the initial
+	// resume-summary event.
+	Result *JobResult
+	// CatalogSize is the current number of distinct attacks.
+	CatalogSize int
+}
+
+// Runner executes one job and returns its result with JobID, Index,
+// Name, Seed and DurationMS left blank (the scheduler fills them). The
+// default runner trains a full core.Explorer; tests and throughput
+// benchmarks substitute stubs.
+type Runner func(ctx context.Context, job Job) JobResult
+
+// RunConfig controls campaign execution.
+type RunConfig struct {
+	// Workers is the worker-pool size. Default runtime.NumCPU().
+	Workers int
+	// Checkpoint is the JSONL results path; results append after every
+	// job so a killed campaign loses at most the in-flight jobs. Empty
+	// disables persistence.
+	Checkpoint string
+	// Resume skips jobs whose IDs already have results in the
+	// checkpoint, replaying their recorded attacks into the catalog.
+	Resume bool
+	// Scale multiplies scenario epoch budgets (the exp-harness
+	// convention); 0 means 1.0.
+	Scale float64
+	// Progress, when set, receives an event after every job completion.
+	// It is called from worker goroutines under the scheduler lock, so
+	// it needs no synchronization of its own but should return quickly.
+	Progress func(Progress)
+	// Runner overrides job execution; nil selects the Explorer runner.
+	Runner Runner
+}
+
+// Result is a completed (or interrupted) campaign.
+type Result struct {
+	// Spec is the campaign name.
+	Spec string
+	// Jobs holds per-job results in expansion order. Interrupted jobs
+	// have a zero JobID.
+	Jobs []JobResult
+	// Catalog is the deduplicated attack store.
+	Catalog *Catalog
+	// Completed counts jobs run this invocation; Resumed counts jobs
+	// restored from the checkpoint; Failed counts jobs whose Error is
+	// non-empty (either source).
+	Completed, Resumed, Failed int
+	// Elapsed is the wall-clock campaign duration.
+	Elapsed time.Duration
+}
+
+// Run expands the spec and executes it on a bounded worker pool. On
+// context cancellation it stops dispatching, waits for in-flight jobs,
+// and returns the partial result together with the context error —
+// rerunning with RunConfig.Resume picks up where it left off.
+func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
+	jobs, _, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if rc.Workers <= 0 {
+		rc.Workers = runtime.NumCPU()
+	}
+	if rc.Scale <= 0 {
+		rc.Scale = 1
+	}
+	if rc.Runner == nil {
+		rc.Runner = ExplorerRunner(rc.Scale, rc.Workers)
+	}
+
+	res := &Result{
+		Spec:    spec.Name,
+		Jobs:    make([]JobResult, len(jobs)),
+		Catalog: NewCatalog(),
+	}
+	start := time.Now()
+
+	// Restore the checkpoint: completed jobs keep their recorded result
+	// and replay their attacks into the catalog instead of re-running.
+	done := map[string]JobResult{}
+	if rc.Resume && rc.Checkpoint != "" {
+		if done, err = LoadCheckpoint(rc.Checkpoint); err != nil {
+			return nil, err
+		}
+	}
+	var pending []Job
+	for _, job := range jobs {
+		prev, ok := done[job.ID]
+		if !ok {
+			// Prefill the labels so jobs never reached (cancellation)
+			// still render usefully in summaries; a zero JobID marks
+			// the slot as not run.
+			res.Jobs[job.Index] = JobResult{
+				Index: job.Index,
+				Name:  job.Scenario.Name,
+				Seed:  job.Scenario.Env.Seed,
+			}
+			pending = append(pending, job)
+			continue
+		}
+		prev.Index = job.Index // reindex: the spec may have grown
+		res.Jobs[job.Index] = prev
+		res.Resumed++
+		if prev.Error != "" {
+			res.Failed++
+		}
+		if prev.Canonical != "" {
+			res.Catalog.Record(prev.Canonical, prev.Sequence, prev.Category, prev.Name, prev.Accuracy)
+		}
+	}
+
+	var ckpt *checkpointWriter
+	if rc.Checkpoint != "" {
+		if ckpt, err = newCheckpointWriter(rc.Checkpoint); err != nil {
+			return nil, err
+		}
+		defer ckpt.Close()
+	}
+
+	var mu sync.Mutex // guards res counters, Jobs slice, and Progress
+	emit := func(jr *JobResult) {
+		if rc.Progress == nil {
+			return
+		}
+		rc.Progress(Progress{
+			Done:        res.Resumed + res.Completed,
+			Total:       len(jobs),
+			Resumed:     res.Resumed,
+			Result:      jr,
+			CatalogSize: res.Catalog.Len(),
+		})
+	}
+	mu.Lock()
+	emit(nil)
+	mu.Unlock()
+
+	// A dead checkpoint means resume would silently repeat work: treat
+	// a write failure like a cancellation — stop dispatching, finish
+	// nothing more, and return the error.
+	ctx, abort := context.WithCancel(ctx)
+	defer abort()
+	var ckptErr error
+
+	feed := make(chan Job)
+	var wg sync.WaitGroup
+	for w := 0; w < rc.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range feed {
+				// Drain without running once cancelled: a job aborted
+				// by cancellation must not reach the checkpoint, or
+				// resume would skip it forever as "completed".
+				if ctx.Err() != nil {
+					continue
+				}
+				t0 := time.Now()
+				jr := rc.Runner(ctx, job)
+				// Once cancelled, an error result is presumed an abort
+				// artifact (runners may wrap the context error): drop
+				// it so resume retries the job. Successful results
+				// from jobs that finished despite cancellation still
+				// count and checkpoint.
+				if ctx.Err() != nil && jr.Error != "" {
+					continue
+				}
+				jr.JobID = job.ID
+				jr.Index = job.Index
+				jr.Name = job.Scenario.Name
+				jr.Seed = job.Scenario.Env.Seed
+				jr.DurationMS = time.Since(t0).Milliseconds()
+
+				// The catalog is sharded and safe on its own; recording
+				// outside the scheduler lock keeps worker completions
+				// contending only on their key's stripe.
+				if jr.Canonical != "" {
+					res.Catalog.Record(jr.Canonical, jr.Sequence, jr.Category, jr.Name, jr.Accuracy)
+				}
+
+				mu.Lock()
+				res.Jobs[job.Index] = jr
+				res.Completed++
+				if jr.Error != "" {
+					res.Failed++
+				}
+				if ckpt != nil && ckptErr == nil {
+					if err := ckpt.Append(jr); err != nil {
+						ckptErr = fmt.Errorf("campaign: checkpoint write: %w", err)
+						abort()
+					}
+				}
+				emit(&res.Jobs[job.Index])
+				mu.Unlock()
+			}
+		}()
+	}
+
+dispatch:
+	for _, job := range pending {
+		select {
+		case feed <- job:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(feed)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if ckptErr != nil {
+		return res, ckptErr
+	}
+	return res, ctx.Err()
+}
+
+// ExplorerRunner returns the production runner: each job builds a
+// core.Explorer from its scenario, trains to convergence or budget,
+// extracts the attack by deterministic replay, and classifies it. The
+// per-trainer gradient/actor parallelism is divided by the pool size so
+// a saturated pool does not oversubscribe the machine.
+func ExplorerRunner(scale float64, poolWorkers int) Runner {
+	if scale <= 0 {
+		scale = 1
+	}
+	trainWorkers := runtime.NumCPU() / max(1, poolWorkers)
+	if trainWorkers < 1 {
+		trainWorkers = 1
+	}
+	if trainWorkers > 8 {
+		trainWorkers = 8 // the rl package's own per-trainer cap
+	}
+	return func(ctx context.Context, job Job) JobResult {
+		if err := ctx.Err(); err != nil {
+			return JobResult{Error: err.Error()}
+		}
+		sc := job.Scenario
+		jr := JobResult{Expected: sc.Expected}
+
+		ppo := sc.ppoConfig(scale)
+		if ppo.Workers == 0 {
+			ppo.Workers = trainWorkers
+		}
+		cfg := core.Config{Env: sc.Env, Envs: sc.Envs, PPO: ppo}
+		switch sc.Detector {
+		case DetectorNone:
+		case DetectorMissBased:
+			cfg.DetectorFactory = func() detect.Detector { return detect.NewMissBased() }
+		case DetectorCCHunter:
+			cfg.DetectorFactory = func() detect.Detector { return detect.NewCCHunter() }
+		default:
+			jr.Error = fmt.Sprintf("unknown detector %q", sc.Detector)
+			return jr
+		}
+
+		ex, err := core.New(cfg)
+		if err != nil {
+			jr.Error = err.Error()
+			return jr
+		}
+		res := ex.Run()
+		jr.Converged = res.Train.Converged
+		jr.Epochs = res.Train.Epochs
+		jr.EpochsToConverge = res.Train.EpochsToConverge
+		jr.Accuracy = res.Eval.Accuracy
+		jr.MeanLength = res.Eval.MeanLength
+		// Catalog only attacks the trained policy performs reliably: an
+		// unconverged agent still "extracts" a sequence now and then by
+		// guessing luckily, and those would pollute the catalog.
+		if res.AttackOK && (res.Train.Converged || res.Eval.Accuracy >= 0.9) {
+			jr.Sequence = res.Sequence
+			jr.Canonical = Canonicalize(ex.Env(), res.Attack.Actions)
+			jr.Category = string(res.Category)
+		}
+		return jr
+	}
+}
+
+// ppoConfig derives the trainer hyperparameters: the scenario's explicit
+// PPO override when present, otherwise the tuned exploration schedule
+// used across the paper's experiments, at the scaled epoch budget.
+func (sc Scenario) ppoConfig(scale float64) rl.PPOConfig {
+	if sc.PPO != nil {
+		ppo := *sc.PPO
+		if ppo.Seed == 0 {
+			ppo.Seed = sc.Env.Seed
+		}
+		return ppo
+	}
+	epochs := sc.Epochs
+	if epochs == 0 {
+		epochs = 60
+	}
+	epochs = int(float64(epochs) * scale)
+	if epochs < 10 {
+		epochs = 10
+	}
+	steps := sc.StepsPerEpoch
+	if steps == 0 {
+		steps = 3000
+	}
+	return rl.PPOConfig{
+		StepsPerEpoch:   steps,
+		MaxEpochs:       epochs,
+		EntAnnealEpochs: epochs / 2,
+		ExploreEps:      0.35,
+		Seed:            sc.Env.Seed,
+	}
+}
+
+// WriterProgress returns a Progress callback that prints one line per
+// completed job plus a resume summary, suitable for CLI output.
+func WriterProgress(w io.Writer) func(Progress) {
+	return func(p Progress) {
+		if p.Result == nil {
+			if p.Resumed > 0 {
+				fmt.Fprintf(w, "resumed %d/%d jobs from checkpoint (%d attacks)\n",
+					p.Resumed, p.Total, p.CatalogSize)
+			}
+			return
+		}
+		r := p.Result
+		status := r.Category
+		if status == "" {
+			status = "no attack"
+		}
+		if r.Error != "" {
+			status = "error: " + r.Error
+		}
+		fmt.Fprintf(w, "[%d/%d] %-40s %-26s acc=%.3f %5.1fs  (catalog %d)\n",
+			p.Done, p.Total, r.Name, status, r.Accuracy,
+			float64(r.DurationMS)/1000, p.CatalogSize)
+	}
+}

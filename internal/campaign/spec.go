@@ -1,0 +1,320 @@
+// Package campaign implements scenario-sweep orchestration: the
+// production-scale layer that turns AutoCAT from "one exploration per
+// program run" into "thousands of explorations per campaign". A
+// declarative Spec describes a grid of guessing-game scenarios (the
+// cross-product of cache geometry × replacement policy × prefetcher ×
+// attacker/victim ranges × detector/defense settings × seeds, plus
+// explicit one-off rows); Run expands it into jobs, executes them on a
+// bounded worker pool where each job is a full train-and-classify
+// exploration, deduplicates the discovered attacks in a sharded catalog,
+// and checkpoints results as JSONL so interrupted campaigns resume
+// without repeating finished work.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"autocat/internal/cache"
+	"autocat/internal/env"
+	"autocat/internal/rl"
+)
+
+// AddrRange is an inclusive cache-line address range.
+type AddrRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Detector kinds accepted by Scenario.Detector and Spec.Detectors. The
+// empty string means no detector. Cyclone is excluded: it needs a trained
+// SVM model, which a declarative grid cannot carry.
+const (
+	DetectorNone      = ""
+	DetectorMissBased = "missbased"
+	DetectorCCHunter  = "cchunter"
+)
+
+// Defense kinds accepted by Spec.Defenses. The empty string is the
+// undefended baseline; "plcache" locks the victim's lines (the PL-cache
+// defense of §V-D).
+const (
+	DefenseNone    = ""
+	DefensePLCache = "plcache"
+)
+
+// Scenario is one fully specified exploration job: an environment, a
+// training budget, and an optional detector. It is the unit the worker
+// pool executes and the unit checkpointing identifies.
+type Scenario struct {
+	// Name labels the scenario in progress output and summary tables.
+	Name string `json:"name,omitempty"`
+	// Env is the guessing-game configuration. Its Seed also seeds the
+	// policy network and trainer.
+	Env env.Config `json:"env"`
+	// Detector optionally names an episode screen (DetectorMissBased or
+	// DetectorCCHunter); a fresh instance is built per rollout
+	// environment.
+	Detector string `json:"detector,omitempty"`
+	// Epochs is the full-scale training budget. Default 60.
+	Epochs int `json:"epochs,omitempty"`
+	// StepsPerEpoch overrides the PPO per-epoch step count. Default 3000.
+	StepsPerEpoch int `json:"steps_per_epoch,omitempty"`
+	// Envs is the parallel rollout environment count per job. Default 8.
+	Envs int `json:"envs,omitempty"`
+	// PPO, when non-nil, overrides the derived trainer hyperparameters
+	// entirely (Epochs/StepsPerEpoch are ignored; a zero PPO.Seed is
+	// filled from Env.Seed).
+	PPO *rl.PPOConfig `json:"ppo,omitempty"`
+	// Expected optionally records the attack category the scenario is
+	// expected to produce (informational; printed in summaries).
+	Expected string `json:"expected,omitempty"`
+}
+
+// Spec declares a campaign: grid axes whose cross-product expands into
+// scenarios, plus explicit Scenarios appended verbatim. Empty axes
+// collapse to a single neutral element, so a spec may use any subset.
+type Spec struct {
+	// Name labels the campaign in checkpoints and summaries.
+	Name string `json:"name,omitempty"`
+
+	// Caches lists the base cache geometries (NumBlocks/NumWays plus any
+	// per-geometry options). Policy and Prefetcher fields are overridden
+	// by the Policies and Prefetchers axes when those are non-empty.
+	Caches []cache.Config `json:"caches,omitempty"`
+	// Policies is the replacement-policy axis.
+	Policies []cache.PolicyKind `json:"policies,omitempty"`
+	// Prefetchers is the prefetcher axis.
+	Prefetchers []cache.PrefetcherKind `json:"prefetchers,omitempty"`
+	// Attackers is the attacker address-range axis.
+	Attackers []AddrRange `json:"attackers,omitempty"`
+	// Victims is the victim address-range axis.
+	Victims []AddrRange `json:"victims,omitempty"`
+	// Detectors is the detector axis (DetectorNone, DetectorMissBased,
+	// DetectorCCHunter).
+	Detectors []string `json:"detectors,omitempty"`
+	// Defenses is the defense axis (DefenseNone, DefensePLCache).
+	Defenses []string `json:"defenses,omitempty"`
+	// StepRewards is the per-action penalty axis (Table VI); zero values
+	// select the default -0.01.
+	StepRewards []float64 `json:"step_rewards,omitempty"`
+	// Seeds is the random-seed axis; each seed is a replicate of every
+	// grid point. Default {1}.
+	Seeds []int64 `json:"seeds,omitempty"`
+
+	// FlushEnable adds flush actions to every grid scenario.
+	FlushEnable bool `json:"flush_enable,omitempty"`
+	// VictimNoAccess enables the "no access" secret in every grid
+	// scenario.
+	VictimNoAccess bool `json:"victim_no_access,omitempty"`
+	// WindowSize sets the observation window for grid scenarios
+	// (0 = the environment default).
+	WindowSize int `json:"window_size,omitempty"`
+	// Warmup sets the random warm-up access count for grid scenarios
+	// (0 = the environment default of NumBlocks, negative disables).
+	Warmup int `json:"warmup,omitempty"`
+
+	// Epochs is the full-scale training budget per grid job. Default 60.
+	Epochs int `json:"epochs,omitempty"`
+	// StepsPerEpoch is the PPO per-epoch step count for grid jobs.
+	// Default 3000.
+	StepsPerEpoch int `json:"steps_per_epoch,omitempty"`
+	// Envs is the parallel rollout environment count per grid job.
+	// Default 8.
+	Envs int `json:"envs,omitempty"`
+
+	// Scenarios lists explicit rows outside the cross-product (the Table
+	// IV style of heterogeneous sweeps).
+	Scenarios []Scenario `json:"scenarios,omitempty"`
+}
+
+// Job is one schedulable unit of a campaign: a scenario plus its stable
+// identity and position in expansion order.
+type Job struct {
+	// Index is the job's position in expansion order.
+	Index int `json:"index"`
+	// ID is a stable content hash of the scenario: the same scenario
+	// hashes to the same ID across runs, which is what lets resume skip
+	// completed work and the expander drop duplicate grid points.
+	ID string `json:"id"`
+	// Scenario is the work itself.
+	Scenario Scenario `json:"scenario"`
+}
+
+// jobID hashes the scenario's canonical JSON encoding. Struct field
+// order is fixed, so the encoding — and therefore the ID — is stable
+// across processes.
+func jobID(sc Scenario) (string, error) {
+	blob, err := json.Marshal(sc)
+	if err != nil {
+		return "", fmt.Errorf("campaign: scenario %q not hashable: %w", sc.Name, err)
+	}
+	h := fnv.New64a()
+	h.Write(blob)
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// axis returns xs, or the single neutral element when xs is empty.
+func axis[T any](xs []T, neutral T) []T {
+	if len(xs) == 0 {
+		return []T{neutral}
+	}
+	return xs
+}
+
+// Expand materializes the grid cross-product plus the explicit
+// scenarios into jobs. Grid points whose combination is structurally
+// invalid (for example tree-PLRU on a non-power-of-two way count) are
+// skipped rather than failing the whole campaign; duplicate jobs — grid
+// points or explicit scenarios that hash to the same ID — are dropped
+// after their first occurrence. The returned skipped count is the
+// number of invalid grid combinations.
+func (s Spec) Expand() (jobs []Job, skipped int, err error) {
+	caches := s.Caches
+	if len(caches) == 0 && len(s.Scenarios) == 0 {
+		return nil, 0, fmt.Errorf("campaign: spec %q has no cache geometries and no explicit scenarios", s.Name)
+	}
+	policies := axis(s.Policies, cache.PolicyKind(""))
+	prefetchers := axis(s.Prefetchers, cache.PrefetcherKind(""))
+	attackers := axis(s.Attackers, AddrRange{})
+	victims := axis(s.Victims, AddrRange{})
+	detectors := axis(s.Detectors, DetectorNone)
+	defenses := axis(s.Defenses, DefenseNone)
+	stepRewards := axis(s.StepRewards, 0)
+	seeds := axis(s.Seeds, 1)
+
+	seen := map[string]bool{}
+	add := func(sc Scenario) error {
+		id, err := jobID(sc)
+		if err != nil {
+			return err
+		}
+		if seen[id] {
+			return nil
+		}
+		seen[id] = true
+		jobs = append(jobs, Job{Index: len(jobs), ID: id, Scenario: sc})
+		return nil
+	}
+
+	for _, base := range caches {
+		for _, pol := range policies {
+			for _, pf := range prefetchers {
+				for _, att := range attackers {
+					for _, vic := range victims {
+						for _, det := range detectors {
+							for _, def := range defenses {
+								for _, step := range stepRewards {
+									for _, seed := range seeds {
+										sc, ok := s.gridScenario(base, pol, pf, att, vic, det, def, step, seed)
+										if !ok {
+											skipped++
+											continue
+										}
+										if err := add(sc); err != nil {
+											return nil, 0, err
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, sc := range s.Scenarios {
+		if err := add(sc); err != nil {
+			return nil, 0, err
+		}
+	}
+	if len(jobs) == 0 {
+		return nil, skipped, fmt.Errorf("campaign: spec %q expanded to zero valid jobs (%d invalid grid points)", s.Name, skipped)
+	}
+	return jobs, skipped, nil
+}
+
+// gridScenario assembles one cross-product point, reporting ok=false
+// when the combination is structurally invalid.
+func (s Spec) gridScenario(base cache.Config, pol cache.PolicyKind, pf cache.PrefetcherKind,
+	att, vic AddrRange, det, def string, stepReward float64, seed int64) (Scenario, bool) {
+	cc := base
+	if pol != "" {
+		cc.Policy = pol
+	}
+	if pf != "" {
+		cc.Prefetcher = pf
+	}
+	maxAddr := att.Hi
+	if vic.Hi > maxAddr {
+		maxAddr = vic.Hi
+	}
+	if cc.Prefetcher == cache.NextLine && cc.AddrSpace == 0 {
+		// Next-line prefetch wraps within the addresses the programs
+		// actually touch, as in the paper's Table IV row 2 setup.
+		cc.AddrSpace = maxAddr + 1
+	}
+	cc.Seed = seed
+	if cc.Validate() != nil {
+		return Scenario{}, false
+	}
+
+	ec := env.Config{
+		Cache:      cc,
+		AttackerLo: cache.Addr(att.Lo), AttackerHi: cache.Addr(att.Hi),
+		VictimLo: cache.Addr(vic.Lo), VictimHi: cache.Addr(vic.Hi),
+		FlushEnable:     s.FlushEnable,
+		VictimNoAccess:  s.VictimNoAccess,
+		WindowSize:      s.WindowSize,
+		Warmup:          s.Warmup,
+		LockVictimLines: def == DefensePLCache,
+		Seed:            seed,
+	}
+	if stepReward != 0 {
+		rw := env.DefaultRewards()
+		rw.Step = stepReward
+		ec.Rewards = rw
+	}
+	if ec.Validate() != nil {
+		return Scenario{}, false
+	}
+	switch det {
+	case DetectorNone, DetectorMissBased, DetectorCCHunter:
+	default:
+		return Scenario{}, false
+	}
+	switch def {
+	case DefenseNone, DefensePLCache:
+	default:
+		return Scenario{}, false
+	}
+
+	name := fmt.Sprintf("%db%dw/%s", cc.NumBlocks, cc.NumWays, cc.Policy)
+	if cc.Policy == "" {
+		name = fmt.Sprintf("%db%dw/lru", cc.NumBlocks, cc.NumWays)
+	}
+	if cc.Prefetcher != "" && cc.Prefetcher != cache.NoPrefetch {
+		name += "+" + string(cc.Prefetcher)
+	}
+	name += fmt.Sprintf("/a%d-%d/v%d-%d", att.Lo, att.Hi, vic.Lo, vic.Hi)
+	if det != DetectorNone {
+		name += "/" + det
+	}
+	if def != DefenseNone {
+		name += "/" + def
+	}
+	if stepReward != 0 {
+		name += fmt.Sprintf("/step%g", stepReward)
+	}
+	name += fmt.Sprintf("/s%d", seed)
+
+	return Scenario{
+		Name:          name,
+		Env:           ec,
+		Detector:      det,
+		Epochs:        s.Epochs,
+		StepsPerEpoch: s.StepsPerEpoch,
+		Envs:          s.Envs,
+	}, true
+}

@@ -10,11 +10,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"autocat/internal/agents"
 	"autocat/internal/cache"
+	"autocat/internal/campaign"
 	"autocat/internal/core"
 	"autocat/internal/detect"
 	"autocat/internal/env"
@@ -33,6 +35,11 @@ type Options struct {
 	Runs int
 	// Seed is the base seed.
 	Seed int64
+	// Workers sizes the campaign worker pool for the table sweeps that
+	// run as campaigns (IV, V, VI). Default 1: sequential, the
+	// original harness behavior; raise it to trade per-trainer
+	// parallelism for cross-scenario parallelism.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -44,6 +51,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Runs <= 0 {
 		o.Runs = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -171,48 +181,85 @@ func Table4Configs(seed int64) []table4Config {
 // benchTable4Rows lists the row numbers run at reduced scale.
 var benchTable4Rows = map[int]bool{1: true, 3: true, 5: true, 6: true, 7: true}
 
+// TableIVSpec expresses the Table IV configuration matrix as a campaign
+// spec, one explicit scenario per row (at Scale < 1 only the
+// representative bench subset). The returned rows parallel the spec's
+// scenarios and carry the presentation metadata.
+func TableIVSpec(o Options) (campaign.Spec, []table4Config) {
+	o = o.withDefaults()
+	var rows []table4Config
+	var scenarios []campaign.Scenario
+	for _, row := range Table4Configs(o.Seed) {
+		if o.Scale < 1 && !benchTable4Rows[row.No] {
+			continue
+		}
+		ppo := standardPPO(o.epochs(row.Epochs), row.Env.Seed)
+		scenarios = append(scenarios, campaign.Scenario{
+			Name:     fmt.Sprintf("table4/%02d", row.No),
+			Env:      row.Env,
+			PPO:      &ppo,
+			Expected: row.Expected,
+		})
+		rows = append(rows, row)
+	}
+	return campaign.Spec{Name: "table-iv", Scenarios: scenarios}, rows
+}
+
 // TableIV trains the agent on the simulator configuration matrix and
 // prints found attacks plus their automatic classification. At Scale < 1
 // a representative subset runs (configs 1, 3, 5, 6, 7 — one per expected
-// category).
+// category). The sweep runs as a campaign on Options.Workers workers.
 func TableIV(o Options) {
 	o = o.withDefaults()
 	fmt.Fprintln(o.W, "Table IV: attacks found across cache / attacker / victim configurations")
 	fmt.Fprintf(o.W, "%-3s %-42s %-10s | %-9s %8s  %s\n",
 		"No", "Configuration", "Expected", "Converged", "Accuracy", "Attack found (category)")
-	for _, row := range Table4Configs(o.Seed) {
-		if o.Scale < 1 && !benchTable4Rows[row.No] {
-			continue
-		}
-		res, err := core.Explore(core.Config{
-			Env: row.Env,
-			PPO: standardPPO(o.epochs(row.Epochs), row.Env.Seed),
-		})
-		if err != nil {
-			fmt.Fprintf(o.W, "%-3d error: %v\n", row.No, err)
+	spec, rows := TableIVSpec(o)
+	res, err := campaign.Run(context.Background(), spec, campaign.RunConfig{Workers: o.Workers})
+	if err != nil {
+		fmt.Fprintf(o.W, "campaign: %v\n", err)
+		return
+	}
+	for i, jr := range res.Jobs {
+		row := rows[i]
+		if jr.Error != "" {
+			fmt.Fprintf(o.W, "%-3d error: %s\n", row.No, jr.Error)
 			continue
 		}
 		fmt.Fprintf(o.W, "%-3d %-42s %-10s | %-9v %8.3f  %s (%s)\n",
 			row.No, row.Desc, row.Expected,
-			res.Train.Converged, res.Eval.Accuracy, res.Sequence, res.Category)
+			jr.Converged, jr.Accuracy, orDash(jr.Sequence), orDash(jr.Category))
 	}
+	total, _ := res.Catalog.Stats()
+	fmt.Fprintf(o.W, "catalog: %d distinct attacks across %d runs (%d rediscoveries)\n",
+		total.Entries, res.Completed, total.Hits)
 }
 
-// TableV trains on the three deterministic replacement policies and
-// reports epochs-to-converge and final episode length, averaged over
-// Options.Runs training runs (the paper averages three).
-func TableV(o Options) {
+// orDash substitutes "-" for an empty field in table output (a job that
+// extracted no correct attack has no sequence or category).
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// tableVPolicies are the deterministic replacement policies of Table V,
+// in presentation order.
+var tableVPolicies = []cache.PolicyKind{cache.LRU, cache.PLRU, cache.RRIP}
+
+// TableVSpec expresses the replacement-policy sweep as a campaign spec:
+// one scenario per policy × replicate run, in policy-major order.
+func TableVSpec(o Options) campaign.Spec {
 	o = o.withDefaults()
-	fmt.Fprintln(o.W, "Table V: RL training statistics per replacement policy (victim 0/E, attacker 0-4)")
-	fmt.Fprintf(o.W, "%-6s | %-18s %-14s %s\n", "Policy", "Epochs to converge", "Episode length", "Attack found")
 	budgets := map[cache.PolicyKind]int{cache.LRU: 120, cache.PLRU: 120, cache.RRIP: 300}
-	for _, pol := range []cache.PolicyKind{cache.LRU, cache.PLRU, cache.RRIP} {
-		sumEpochs, sumLen := 0.0, 0.0
-		lastSeq := ""
-		converged := 0
+	var scenarios []campaign.Scenario
+	for _, pol := range tableVPolicies {
 		for run := 0; run < o.Runs; run++ {
 			seed := o.Seed + int64(run)*1009 + int64(len(pol))
-			res, err := core.Explore(core.Config{
+			ppo := standardPPO(o.epochs(budgets[pol]), seed)
+			scenarios = append(scenarios, campaign.Scenario{
+				Name: fmt.Sprintf("table5/%s/run%d", pol, run),
 				Env: env.Config{
 					Cache:      cache.Config{NumBlocks: 4, NumWays: 4, Policy: pol},
 					AttackerLo: 0, AttackerHi: 4,
@@ -221,20 +268,44 @@ func TableV(o Options) {
 					WindowSize:     16,
 					Seed:           seed,
 				},
-				PPO: standardPPO(o.epochs(budgets[pol]), seed),
+				PPO: &ppo,
 			})
-			if err != nil {
-				fmt.Fprintf(o.W, "%-6s | error: %v\n", pol, err)
+		}
+	}
+	return campaign.Spec{Name: "table-v", Scenarios: scenarios}
+}
+
+// TableV trains on the three deterministic replacement policies and
+// reports epochs-to-converge and final episode length, averaged over
+// Options.Runs training runs (the paper averages three). The policy ×
+// replicate sweep runs as a campaign on Options.Workers workers.
+func TableV(o Options) {
+	o = o.withDefaults()
+	fmt.Fprintln(o.W, "Table V: RL training statistics per replacement policy (victim 0/E, attacker 0-4)")
+	fmt.Fprintf(o.W, "%-6s | %-18s %-14s %s\n", "Policy", "Epochs to converge", "Episode length", "Attack found")
+	res, err := campaign.Run(context.Background(), TableVSpec(o), campaign.RunConfig{Workers: o.Workers})
+	if err != nil {
+		fmt.Fprintf(o.W, "campaign: %v\n", err)
+		return
+	}
+	for pi, pol := range tableVPolicies {
+		sumEpochs, sumLen := 0.0, 0.0
+		lastSeq := ""
+		converged := 0
+		for run := 0; run < o.Runs; run++ {
+			jr := res.Jobs[pi*o.Runs+run]
+			if jr.Error != "" {
+				fmt.Fprintf(o.W, "%-6s | error: %s\n", pol, jr.Error)
 				return
 			}
-			if res.Train.Converged {
+			if jr.Converged {
 				converged++
-				sumEpochs += float64(res.Train.EpochsToConverge)
+				sumEpochs += float64(jr.EpochsToConverge)
 			} else {
-				sumEpochs += float64(res.Train.Epochs)
+				sumEpochs += float64(jr.Epochs)
 			}
-			sumLen += res.Eval.MeanLength
-			lastSeq = res.Sequence
+			sumLen += jr.MeanLength
+			lastSeq = orDash(jr.Sequence)
 		}
 		n := float64(o.Runs)
 		fmt.Fprintf(o.W, "%-6s | %-18.1f %-14.1f %s (converged %d/%d)\n",
@@ -243,21 +314,24 @@ func TableV(o Options) {
 	fmt.Fprintln(o.W, "expected shape: RRIP needs more epochs and a longer sequence than LRU/PLRU")
 }
 
-// TableVI trains on the random replacement policy under three step
-// rewards and reports the accuracy/length tradeoff.
-func TableVI(o Options) {
+// tableVIStepRewards is the step-reward axis of Table VI.
+var tableVIStepRewards = []float64{-0.02, -0.01, -0.005}
+
+// TableVISpec expresses the random-policy step-reward sweep as a
+// campaign spec. The random policy admits no perfect attack, so every
+// scenario pins an unreachable target accuracy and trains the full
+// budget.
+func TableVISpec(o Options) campaign.Spec {
 	o = o.withDefaults()
-	fmt.Fprintln(o.W, "Table VI: random replacement policy, step-reward sweep")
-	fmt.Fprintf(o.W, "%-12s | %-12s %s\n", "Step reward", "End accuracy", "Episode length")
-	for i, stepReward := range []float64{-0.02, -0.01, -0.005} {
+	var scenarios []campaign.Scenario
+	for i, stepReward := range tableVIStepRewards {
 		rw := env.DefaultRewards()
 		rw.Step = stepReward
 		seed := o.Seed + int64(i)*211
 		ppo := standardPPO(o.epochs(80), seed)
-		// The random policy admits no perfect attack; train a fixed
-		// budget and report where the policy lands.
 		ppo.TargetAccuracy = 2 // unreachable: always run the full budget
-		res, err := core.Explore(core.Config{
+		scenarios = append(scenarios, campaign.Scenario{
+			Name: fmt.Sprintf("table6/step%g", stepReward),
 			Env: env.Config{
 				Cache:      cache.Config{NumBlocks: 4, NumWays: 4, Policy: cache.Random},
 				AttackerLo: 1, AttackerHi: 4,
@@ -267,13 +341,31 @@ func TableVI(o Options) {
 				Rewards:        rw,
 				Seed:           seed,
 			},
-			PPO: ppo,
+			PPO: &ppo,
 		})
-		if err != nil {
-			fmt.Fprintf(o.W, "%v | error: %v\n", stepReward, err)
+	}
+	return campaign.Spec{Name: "table-vi", Scenarios: scenarios}
+}
+
+// TableVI trains on the random replacement policy under three step
+// rewards and reports the accuracy/length tradeoff, running the sweep
+// as a campaign on Options.Workers workers.
+func TableVI(o Options) {
+	o = o.withDefaults()
+	fmt.Fprintln(o.W, "Table VI: random replacement policy, step-reward sweep")
+	fmt.Fprintf(o.W, "%-12s | %-12s %s\n", "Step reward", "End accuracy", "Episode length")
+	res, err := campaign.Run(context.Background(), TableVISpec(o), campaign.RunConfig{Workers: o.Workers})
+	if err != nil {
+		fmt.Fprintf(o.W, "campaign: %v\n", err)
+		return
+	}
+	for i, stepReward := range tableVIStepRewards {
+		jr := res.Jobs[i]
+		if jr.Error != "" {
+			fmt.Fprintf(o.W, "%v | error: %s\n", stepReward, jr.Error)
 			continue
 		}
-		fmt.Fprintf(o.W, "%-12v | %-12.3f %.2f\n", stepReward, res.Eval.Accuracy, res.Eval.MeanLength)
+		fmt.Fprintf(o.W, "%-12v | %-12.3f %.2f\n", stepReward, jr.Accuracy, jr.MeanLength)
 	}
 	fmt.Fprintln(o.W, "expected shape: larger |step reward| → shorter episodes and lower accuracy")
 }

@@ -119,6 +119,42 @@ func TestTable4ConfigsWellFormed(t *testing.T) {
 	}
 }
 
+func TestTableSpecsWellFormed(t *testing.T) {
+	o := Options{Scale: 0.5, Runs: 2, Seed: 1}
+	spec4, rows := TableIVSpec(o)
+	jobs, skipped, err := spec4.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(jobs) != len(rows) {
+		t.Fatalf("Table IV spec: %d jobs / %d rows, %d skipped", len(jobs), len(rows), skipped)
+	}
+	if len(jobs) != len(benchTable4Rows) {
+		t.Fatalf("scale<1 should select the bench subset, got %d jobs", len(jobs))
+	}
+
+	jobs, _, err = TableVSpec(o).Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3*o.Runs {
+		t.Fatalf("Table V spec: %d jobs, want %d", len(jobs), 3*o.Runs)
+	}
+
+	jobs, _, err = TableVISpec(o).Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != len(tableVIStepRewards) {
+		t.Fatalf("Table VI spec: %d jobs, want %d", len(jobs), len(tableVIStepRewards))
+	}
+	for _, j := range jobs {
+		if j.Scenario.PPO == nil || j.Scenario.PPO.TargetAccuracy != 2 {
+			t.Fatalf("Table VI scenario %s must pin an unreachable target accuracy", j.Scenario.Name)
+		}
+	}
+}
+
 func TestTextbookTraceAlternatesDomains(t *testing.T) {
 	tr := textbookTrace(1, 5)
 	if len(tr) != 25 {
