@@ -149,6 +149,9 @@ type (
 	Episode = rl.Episode
 	// PolicyValueNet is the policy/value network contract.
 	PolicyValueNet = nn.PolicyValueNet
+	// Mat is the dense row-major matrix used by the batched network API
+	// (ApplyBatch/GradBatch observation and gradient batches).
+	Mat = nn.Mat
 	// MLPConfig sizes the MLP backbone.
 	MLPConfig = nn.MLPConfig
 	// TransformerConfig sizes the Transformer-encoder backbone.

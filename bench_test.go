@@ -7,12 +7,12 @@
 package autocat_test
 
 import (
-	"context"
 	"os"
 	"runtime"
 	"testing"
 
 	"autocat"
+	"autocat/internal/bench"
 	"autocat/internal/exp"
 )
 
@@ -134,51 +134,21 @@ func BenchmarkAblationWarmup(b *testing.B) {
 
 // Campaign-throughput benchmarks: the same tiny 8-job grid (one-bit
 // channels at eight seeds) at different worker-pool sizes, reporting
-// jobs/sec. Per-trainer parallelism divides by the pool size, so the
-// comparison isolates orchestration overhead and scheduling.
+// jobs/sec (body shared with cmd/autocat-bench via internal/bench).
 
-func benchCampaignSpec() autocat.CampaignSpec {
-	return autocat.CampaignSpec{
-		Name:           "bench",
-		Caches:         []autocat.CacheConfig{{NumBlocks: 1, NumWays: 1}},
-		Attackers:      []autocat.CampaignAddrRange{{Lo: 1, Hi: 1}},
-		Victims:        []autocat.CampaignAddrRange{{Lo: 0, Hi: 0}},
-		Seeds:          []int64{1, 2, 3, 4, 5, 6, 7, 8},
-		VictimNoAccess: true,
-		WindowSize:     6,
-		Warmup:         -1,
-		Epochs:         10,
-		StepsPerEpoch:  256,
-		Envs:           2,
-	}
-}
-
-func benchCampaign(b *testing.B, workers int) {
-	b.Helper()
-	spec := benchCampaignSpec()
-	jobs := 0
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := autocat.RunCampaign(context.Background(), spec, autocat.CampaignRunConfig{
-			Workers: workers,
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.Failed > 0 {
-			b.Fatalf("%d jobs failed", res.Failed)
-		}
-		jobs += res.Completed
-	}
-	b.StopTimer()
-	b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/s")
-}
-
-func BenchmarkCampaignWorkers1(b *testing.B) { benchCampaign(b, 1) }
-func BenchmarkCampaignWorkers4(b *testing.B) { benchCampaign(b, 4) }
+func BenchmarkCampaignWorkers1(b *testing.B) { bench.CampaignJobs(b, 1) }
+func BenchmarkCampaignWorkers4(b *testing.B) { bench.CampaignJobs(b, 4) }
 func BenchmarkCampaignWorkersNumCPU(b *testing.B) {
-	benchCampaign(b, runtime.NumCPU())
+	bench.CampaignJobs(b, runtime.NumCPU())
 }
+
+// Hot-path benchmarks: the per-step env+cache loop, one full PPO epoch,
+// and the batched nn kernels — the numbers tracked in BENCH_hotpath.json.
+// The bodies live in internal/bench so `cmd/autocat-bench -json` measures
+// the exact same workloads CI smoke-tests here.
+
+func BenchmarkStepHot(b *testing.B)  { bench.StepHot(b) }
+func BenchmarkPPOEpoch(b *testing.B) { bench.PPOEpoch(b) }
 
 // Micro-benchmarks of the substrates.
 
@@ -241,6 +211,11 @@ func BenchmarkMLPGrad(b *testing.B) {
 		net.Grad(obs, dl, 0.5)
 	}
 }
+
+// Batched nn kernels over 128-sample minibatches (compare against 128×
+// BenchmarkMLPApply / BenchmarkMLPGrad).
+func BenchmarkMLPApplyBatch(b *testing.B) { bench.MLPApplyBatch(b) }
+func BenchmarkMLPGradBatch(b *testing.B)  { bench.MLPGradBatch(b) }
 
 func BenchmarkTransformerApply(b *testing.B) {
 	net := autocat.NewTransformer(autocat.TransformerConfig{

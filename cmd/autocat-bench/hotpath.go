@@ -1,0 +1,99 @@
+package main
+
+// The -json mode: measure the training hot path with testing.Benchmark
+// and emit BENCH_hotpath.json — steps/sec and allocs/step for the
+// env+cache step loop, steps/sec for a full PPO epoch, per-sample cost of
+// the batched nn forward, and campaign jobs/sec — alongside the committed
+// pre-refactor baseline so the speedup trajectory is tracked in-repo. The
+// benchmark bodies live in internal/bench, shared with the repo-root
+// `go test -bench` suite that CI smoke-tests.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"autocat/internal/bench"
+)
+
+const hotpathFile = "BENCH_hotpath.json"
+
+// hotpathBaseline is the pre-batching measurement (PR 1 state) the
+// current numbers are compared against; see BENCH_hotpath.json history.
+var hotpathBaseline = hotpathStats{
+	Description:      "pre-refactor per-sample hot path (PR 1 state)",
+	StepNsPerOp:      508.8,
+	StepAllocsPerOp:  1,
+	StepsPerSec:      1.965e6,
+	PPOEpochStepsSec: 3046,
+	CampaignJobsSec:  1.111,
+	ApplyNsPerSample: 880.4,
+}
+
+type hotpathStats struct {
+	Description      string  `json:"description"`
+	StepNsPerOp      float64 `json:"step_ns_per_op"`
+	StepAllocsPerOp  float64 `json:"step_allocs_per_op"`
+	StepsPerSec      float64 `json:"steps_per_sec"`
+	PPOEpochStepsSec float64 `json:"ppo_epoch_steps_per_sec"`
+	CampaignJobsSec  float64 `json:"campaign_jobs_per_sec_4workers"`
+	ApplyNsPerSample float64 `json:"apply_batch_ns_per_sample"`
+}
+
+type hotpathReport struct {
+	Baseline hotpathStats       `json:"baseline"`
+	Current  hotpathStats       `json:"current"`
+	Speedup  map[string]float64 `json:"speedup"`
+}
+
+// runHotpath measures the four hot-path benchmarks and writes the JSON
+// report to path.
+func runHotpath(path string) error {
+	fmt.Println("measuring env.StepInto + cache.Access loop ...")
+	step := testing.Benchmark(bench.StepHot)
+	fmt.Println("measuring full PPO epochs ...")
+	ppo := testing.Benchmark(bench.PPOEpoch)
+	fmt.Println("measuring batched MLP forward ...")
+	apply := testing.Benchmark(bench.MLPApplyBatch)
+	fmt.Println("measuring campaign throughput (4 workers) ...")
+	camp := testing.Benchmark(func(b *testing.B) { bench.CampaignJobs(b, 4) })
+
+	stepNs := float64(step.NsPerOp())
+	cur := hotpathStats{
+		Description:      "measured by cmd/autocat-bench -json",
+		StepNsPerOp:      stepNs,
+		StepAllocsPerOp:  float64(step.AllocsPerOp()),
+		StepsPerSec:      1e9 / stepNs,
+		PPOEpochStepsSec: ppo.Extra["steps/s"],
+		CampaignJobsSec:  camp.Extra["jobs/s"],
+		ApplyNsPerSample: float64(apply.NsPerOp()) / bench.ApplyBatchRows,
+	}
+	report := hotpathReport{
+		Baseline: hotpathBaseline,
+		Current:  cur,
+		Speedup: map[string]float64{
+			"steps_per_sec":           round2(cur.StepsPerSec / hotpathBaseline.StepsPerSec),
+			"ppo_epoch_steps_per_sec": round2(cur.PPOEpochStepsSec / hotpathBaseline.PPOEpochStepsSec),
+			"campaign_jobs_per_sec":   round2(cur.CampaignJobsSec / hotpathBaseline.CampaignJobsSec),
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("step hot path: %.1f ns/op, %d allocs/op (%.2fM steps/s, %.2fx baseline)\n",
+		stepNs, step.AllocsPerOp(), cur.StepsPerSec/1e6, cur.StepsPerSec/hotpathBaseline.StepsPerSec)
+	fmt.Printf("ppo epoch:     %.0f steps/s (%.2fx baseline)\n",
+		cur.PPOEpochStepsSec, cur.PPOEpochStepsSec/hotpathBaseline.PPOEpochStepsSec)
+	fmt.Printf("apply batch:   %.0f ns/sample\n", cur.ApplyNsPerSample)
+	fmt.Printf("campaign:      %.2f jobs/s (%.2fx baseline)\n",
+		cur.CampaignJobsSec, cur.CampaignJobsSec/hotpathBaseline.CampaignJobsSec)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func round2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }

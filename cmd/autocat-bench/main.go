@@ -1,4 +1,5 @@
-// Command autocat-bench regenerates the paper's tables and figures.
+// Command autocat-bench regenerates the paper's tables and figures and
+// measures the training hot path.
 //
 // Usage:
 //
@@ -6,6 +7,8 @@
 //	autocat-bench -table 5 -runs 3          one table, three training runs
 //	autocat-bench -figure 4                 one figure
 //	autocat-bench -all -scale 0.5           reduced training budgets
+//	autocat-bench -json                     measure the hot path and write
+//	                                        BENCH_hotpath.json
 package main
 
 import (
@@ -23,7 +26,17 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "training budget scale (1.0 = full)")
 	runs := flag.Int("runs", 1, "training replicates for averaged tables")
 	seed := flag.Int64("seed", 1, "base random seed")
+	jsonOut := flag.Bool("json", false, "measure the hot path (steps/sec, allocs/step, jobs/sec) and write "+hotpathFile)
+	jsonPath := flag.String("json-out", hotpathFile, "output path for -json")
 	flag.Parse()
+
+	if *jsonOut {
+		if err := runHotpath(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	o := exp.Options{W: os.Stdout, Scale: *scale, Runs: *runs, Seed: *seed}
 	run := func(name string, f func(exp.Options)) {

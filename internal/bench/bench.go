@@ -1,0 +1,167 @@
+// Package bench holds the hot-path benchmark bodies shared by the
+// repo-root `go test -bench` suite and `cmd/autocat-bench -json`, so CI's
+// bench smoke and the BENCH_hotpath.json trajectory measure the exact
+// same workloads.
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"autocat/internal/cache"
+	"autocat/internal/campaign"
+	"autocat/internal/env"
+	"autocat/internal/nn"
+	"autocat/internal/rl"
+)
+
+// HotEnvConfig is the 4-block flush+reload guessing game the step and
+// PPO-epoch benchmarks run on (272-d observations, 11 actions).
+func HotEnvConfig() env.Config {
+	return env.Config{
+		Cache:      cache.Config{NumBlocks: 4, NumWays: 4, Policy: cache.LRU},
+		AttackerLo: 0, AttackerHi: 3,
+		VictimLo: 0, VictimHi: 0,
+		FlushEnable:    true,
+		VictimNoAccess: true,
+		WindowSize:     16,
+		Seed:           1,
+	}
+}
+
+func mustEnv(b *testing.B, cfg env.Config) *env.Env {
+	b.Helper()
+	e, err := env.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// StepHot drives the env.StepInto + cache.Access loop exactly as a
+// rollout actor does — observation written into a caller-owned buffer,
+// mixing accesses with victim triggers. Steady state must be 0 allocs/op.
+func StepHot(b *testing.B) {
+	e := mustEnv(b, HotEnvConfig())
+	obs := make([]float64, e.ObsDim())
+	b.ReportAllocs()
+	e.ResetInto(obs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var action int
+		if i%5 == 4 {
+			action = e.VictimAction()
+		} else {
+			action = e.AccessAction(cache.Addr(i & 3))
+		}
+		if _, done := e.StepInto(action, obs); done {
+			e.ResetInto(obs)
+		}
+	}
+}
+
+// PPOEpochSteps is the per-epoch step budget of the PPOEpoch benchmark.
+const PPOEpochSteps = 2048
+
+// PPOEpoch runs full collect+update epochs on the hot env and reports
+// environment steps per second (including the update passes) as the
+// "steps/s" metric.
+func PPOEpoch(b *testing.B) {
+	var envs []*env.Env
+	for i := 0; i < 4; i++ {
+		cfg := HotEnvConfig()
+		cfg.Seed = int64(i) * 7919
+		envs = append(envs, mustEnv(b, cfg))
+	}
+	net := nn.NewMLP(nn.MLPConfig{
+		ObsDim: envs[0].ObsDim(), Actions: envs[0].NumActions(), Seed: 1,
+	})
+	tr, err := rl.NewTrainer(net, envs, rl.PPOConfig{
+		StepsPerEpoch: PPOEpochSteps, MinibatchSize: 128, UpdateEpochs: 4,
+		Workers: 4, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Epoch(i + 1)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*PPOEpochSteps)/b.Elapsed().Seconds(), "steps/s")
+}
+
+// ApplyBatchRows is the minibatch size of the batched nn benchmarks.
+const ApplyBatchRows = 128
+
+func batchNet() (*nn.MLPPolicy, *nn.Mat, *nn.Mat, []float64) {
+	net := nn.NewMLP(nn.MLPConfig{ObsDim: 272, Actions: 11, Seed: 1})
+	X := nn.NewMat(ApplyBatchRows, 272)
+	out := nn.NewMat(ApplyBatchRows, 11)
+	values := make([]float64, ApplyBatchRows)
+	return net, X, out, values
+}
+
+// MLPApplyBatch runs a minibatch through the batched forward path
+// (compare against ApplyBatchRows× the per-sample Apply benchmark).
+func MLPApplyBatch(b *testing.B) {
+	net, X, logits, values := batchNet()
+	net.ApplyBatch(X, logits, values)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ApplyBatch(X, logits, values)
+	}
+}
+
+// MLPGradBatch runs a minibatch through the batched backward path.
+func MLPGradBatch(b *testing.B) {
+	net, X, dL, dV := batchNet()
+	for i := range dL.Data {
+		dL.Data[i] = 0.01
+	}
+	net.GradBatch(X, dL, dV)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.GradBatch(X, dL, dV)
+	}
+}
+
+// CampaignJobCount is the number of jobs per campaign-benchmark iteration.
+const CampaignJobCount = 8
+
+// CampaignJobs runs the tiny 8-job one-bit-channel grid on a pool of the
+// given size and reports throughput as the "jobs/s" metric. Per-trainer
+// parallelism divides by the pool size, so the comparison isolates
+// orchestration overhead and scheduling.
+func CampaignJobs(b *testing.B, workers int) {
+	spec := campaign.Spec{
+		Name:           "bench",
+		Caches:         []cache.Config{{NumBlocks: 1, NumWays: 1}},
+		Attackers:      []campaign.AddrRange{{Lo: 1, Hi: 1}},
+		Victims:        []campaign.AddrRange{{Lo: 0, Hi: 0}},
+		Seeds:          []int64{1, 2, 3, 4, 5, 6, 7, 8},
+		VictimNoAccess: true,
+		WindowSize:     6,
+		Warmup:         -1,
+		Epochs:         10,
+		StepsPerEpoch:  256,
+		Envs:           2,
+	}
+	jobs := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(context.Background(), spec, campaign.RunConfig{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed > 0 {
+			b.Fatalf("%d jobs failed", res.Failed)
+		}
+		jobs += res.Completed
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/s")
+}

@@ -25,6 +25,11 @@ type Eviction struct {
 // Result describes the outcome of one access: whether it hit, the cycle
 // latency charged, any evictions performed (demand fill plus prefetch
 // fills), and the addresses the prefetcher pulled in.
+//
+// The Evictions and Prefetched slices alias scratch buffers owned by the
+// cache: they are valid until the next operation on the same cache, and
+// callers that retain them across operations must copy them first. This
+// keeps Access allocation-free in steady state.
 type Result struct {
 	Hit        bool
 	Latency    int
@@ -41,20 +46,30 @@ type line struct {
 	locked bool
 }
 
-// set is one associative set with its replacement policy.
-type set struct {
-	lines  []line
-	policy Policy
-}
-
 // Cache is a single-level cache simulator. It is not safe for concurrent
 // use; every RL environment owns its own Cache.
+//
+// Data layout: lines are stored in one flat pointerless array indexed by
+// set*ways+way, and replacement metadata lives in contiguous per-cache
+// arrays inside the policy bank — no per-set allocations or interface
+// pointers on the access path (see DESIGN.md "Hot path & data layout").
 type Cache struct {
-	cfg      Config
-	sets     []set
-	rng      *rand.Rand
-	mapping  []int // address permutation when cfg.RandomMapping, else nil
+	cfg     Config
+	rng     *rand.Rand
+	mapping []int // address permutation when cfg.RandomMapping, else nil
+
+	ways   int
+	nsets  int
+	lines  []line // flat across sets: index set*ways + way
+	policy policyBank
+
 	prefetch prefetcher
+
+	// Reusable scratch for allocation-free Access: eviction records,
+	// prefetch candidates, and the eviction-eligibility mask.
+	evScratch []Eviction
+	pfScratch []Addr
+	elScratch []bool
 }
 
 // New builds a cache from cfg. It panics if cfg is invalid; use
@@ -65,20 +80,22 @@ func New(cfg Config) *Cache {
 	}
 	cfg = cfg.withDefaults()
 	c := &Cache{
-		cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Seed + 0x5eed)),
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed + 0x5eed)),
+		ways:  cfg.NumWays,
+		nsets: cfg.NumSets(),
 	}
-	c.sets = make([]set, cfg.NumSets())
-	for i := range c.sets {
-		c.sets[i] = set{
-			lines:  make([]line, cfg.NumWays),
-			policy: newPolicy(cfg.Policy, cfg.NumWays, c.rng),
-		}
-	}
+	c.lines = make([]line, c.nsets*c.ways)
+	c.policy = newPolicyBank(cfg.Policy, c.nsets, c.ways, c.rng)
+	c.elScratch = make([]bool, c.ways)
+	c.evScratch = make([]Eviction, 0, c.ways)
+	c.pfScratch = make([]Addr, 0, 4)
 	if cfg.RandomMapping {
-		// Fixed random permutation over a generous address window; the
-		// mapping is stable for the lifetime of the cache (§V-B "fixed
-		// random address-to-set mapping").
+		// Fixed random permutation over the configured address window;
+		// the mapping is stable for the lifetime of the cache (§V-B
+		// "fixed random address-to-set mapping"). Addresses outside the
+		// window are a configuration error and panic in setIndex — they
+		// must not silently bypass the permutation.
 		n := cfg.AddrSpace
 		if n == 0 {
 			n = 4 * cfg.NumBlocks
@@ -94,22 +111,32 @@ func New(cfg Config) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 // setIndex maps an address to its set, applying the optional fixed random
-// permutation first.
+// permutation first. With RandomMapping, addresses outside the permutation
+// window [0, AddrSpace) (default [0, 4×NumBlocks)) panic: mapping them
+// linearly would quietly re-open the very set-contention structure the
+// randomized cache is supposed to hide.
 func (c *Cache) setIndex(a Addr) int {
 	x := int(a)
 	if c.mapping != nil {
-		if x >= 0 && x < len(c.mapping) {
-			x = c.mapping[x]
+		if x < 0 || x >= len(c.mapping) {
+			panic(fmt.Sprintf("cache: address %d outside the random-mapping window [0,%d); set AddrSpace to cover every address", x, len(c.mapping)))
 		}
+		x = c.mapping[x]
 	}
-	n := len(c.sets)
+	n := c.nsets
 	return ((x % n) + n) % n
 }
 
-// lookup returns the way holding addr in its set, or -1.
-func (c *Cache) lookup(s *set, a Addr) int {
-	for w := range s.lines {
-		if s.lines[w].valid && s.lines[w].addr == a {
+// set returns the flat slice of ways backing set si.
+func (c *Cache) set(si int) []line {
+	return c.lines[si*c.ways : (si+1)*c.ways]
+}
+
+// lookup returns the way holding addr in set si, or -1.
+func (c *Cache) lookup(si int, a Addr) int {
+	s := c.set(si)
+	for w := range s {
+		if s[w].valid && s[w].addr == a {
 			return w
 		}
 	}
@@ -119,86 +146,84 @@ func (c *Cache) lookup(s *set, a Addr) int {
 // Access performs a demand access to addr by dom, updating replacement
 // state and running the prefetcher. It returns the hit/miss outcome, the
 // charged latency, and all evictions caused (including prefetch fills).
+// The returned slices alias cache-owned scratch; see Result.
 func (c *Cache) Access(a Addr, dom Domain) Result {
+	c.evScratch = c.evScratch[:0]
 	res := c.demand(a, dom)
-	for _, pa := range c.prefetch.after(a) {
+	pf := c.prefetch.after(a, c.pfScratch[:0])
+	kept := pf[:0]
+	for _, pa := range pf {
 		if pa == a {
 			continue
 		}
-		pres := c.fillOnly(pa, dom)
-		res.Evictions = append(res.Evictions, pres.Evictions...)
-		res.Prefetched = append(res.Prefetched, pa)
+		c.fillOnly(pa, dom)
+		kept = append(kept, pa)
+	}
+	c.pfScratch = pf
+	if len(kept) > 0 {
+		res.Prefetched = kept
+	}
+	if len(c.evScratch) > 0 {
+		res.Evictions = c.evScratch
 	}
 	return res
 }
 
-// demand performs the access itself without prefetching.
+// demand performs the access itself without prefetching, appending any
+// eviction to the scratch buffer.
 func (c *Cache) demand(a Addr, dom Domain) Result {
 	si := c.setIndex(a)
-	s := &c.sets[si]
-	if w := c.lookup(s, a); w >= 0 {
-		s.policy.OnHit(w)
+	if w := c.lookup(si, a); w >= 0 {
+		c.policy.OnHit(si, w)
 		return Result{Hit: true, Latency: c.cfg.HitLatency}
 	}
-	res := Result{Hit: false, Latency: c.cfg.MissLatency}
-	if ev, ok := c.install(si, a, dom); ok && evValid(ev) {
-		res.Evictions = append(res.Evictions, ev)
-	}
-	return res
+	c.install(si, a, dom)
+	return Result{Hit: false, Latency: c.cfg.MissLatency}
 }
-
-// evValid reports whether an eviction record corresponds to a real line
-// displacement (install may fill an invalid way, which displaces nothing).
-func evValid(ev Eviction) bool { return ev.EvictedAddr != -1 }
 
 // fillOnly installs addr as a prefetch: a hit refreshes nothing (hardware
 // prefetchers do not promote on hit in this model), a miss fills the line.
-func (c *Cache) fillOnly(a Addr, dom Domain) Result {
+func (c *Cache) fillOnly(a Addr, dom Domain) {
 	si := c.setIndex(a)
-	s := &c.sets[si]
-	if c.lookup(s, a) >= 0 {
-		return Result{Hit: true}
+	if c.lookup(si, a) >= 0 {
+		return
 	}
-	res := Result{Hit: false}
-	if ev, ok := c.install(si, a, dom); ok && evValid(ev) {
-		res.Evictions = append(res.Evictions, ev)
-	}
-	return res
+	c.install(si, a, dom)
 }
 
-// install places addr into set si, evicting if needed. It returns the
-// eviction record (EvictedAddr == -1 when an invalid way was filled) and
-// whether the fill happened at all (false when every way is locked).
-func (c *Cache) install(si int, a Addr, dom Domain) (Eviction, bool) {
-	s := &c.sets[si]
-	// Prefer an invalid way.
-	for w := range s.lines {
-		if !s.lines[w].valid {
-			s.lines[w] = line{valid: true, addr: a, domain: dom}
-			s.policy.OnFill(w)
-			return Eviction{Set: si, EvictedAddr: -1}, true
+// install places addr into set si, evicting if needed; a real displacement
+// is appended to the eviction scratch. It reports whether the fill
+// happened at all (false when every way is locked).
+func (c *Cache) install(si int, a Addr, dom Domain) bool {
+	s := c.set(si)
+	// Prefer an invalid way (displaces nothing).
+	for w := range s {
+		if !s[w].valid {
+			s[w] = line{valid: true, addr: a, domain: dom}
+			c.policy.OnFill(si, w)
+			return true
 		}
 	}
-	eligible := make([]bool, len(s.lines))
+	el := c.elScratch
 	any := false
-	for w := range s.lines {
-		eligible[w] = !s.lines[w].locked
-		any = any || eligible[w]
+	for w := range s {
+		el[w] = !s[w].locked
+		any = any || el[w]
 	}
 	if !any {
 		// Fully locked set (PL cache): the access bypasses the cache.
-		return Eviction{}, false
+		return false
 	}
-	w := s.policy.Victim(eligible)
-	ev := Eviction{
+	w := c.policy.Victim(si, el)
+	c.evScratch = append(c.evScratch, Eviction{
 		Set:           si,
-		EvictedAddr:   s.lines[w].addr,
-		EvictedDomain: s.lines[w].domain,
+		EvictedAddr:   s[w].addr,
+		EvictedDomain: s[w].domain,
 		ByDomain:      dom,
-	}
-	s.lines[w] = line{valid: true, addr: a, domain: dom}
-	s.policy.OnFill(w)
-	return ev, true
+	})
+	s[w] = line{valid: true, addr: a, domain: dom}
+	c.policy.OnFill(si, w)
+	return true
 }
 
 // Flush removes addr from the cache if present (clflush). It reports
@@ -208,12 +233,11 @@ func (c *Cache) install(si int, a Addr, dom Domain) (Eviction, bool) {
 // never exposes flush in PL-cache experiments).
 func (c *Cache) Flush(a Addr) bool {
 	si := c.setIndex(a)
-	s := &c.sets[si]
-	w := c.lookup(s, a)
+	w := c.lookup(si, a)
 	if w < 0 {
 		return false
 	}
-	s.lines[w] = line{}
+	c.set(si)[w] = line{}
 	return true
 }
 
@@ -222,24 +246,22 @@ func (c *Cache) Flush(a Addr) bool {
 // victim.
 func (c *Cache) Lock(a Addr, dom Domain) {
 	si := c.setIndex(a)
-	s := &c.sets[si]
-	w := c.lookup(s, a)
+	w := c.lookup(si, a)
 	if w < 0 {
 		c.install(si, a, dom)
-		w = c.lookup(s, a)
+		w = c.lookup(si, a)
 		if w < 0 {
 			return // set fully locked; nothing to pin
 		}
 	}
-	s.lines[w].locked = true
+	c.set(si)[w].locked = true
 }
 
 // Unlock clears the lock bit of addr if it is resident.
 func (c *Cache) Unlock(a Addr) {
 	si := c.setIndex(a)
-	s := &c.sets[si]
-	if w := c.lookup(s, a); w >= 0 {
-		s.lines[w].locked = false
+	if w := c.lookup(si, a); w >= 0 {
+		c.set(si)[w].locked = false
 	}
 }
 
@@ -247,7 +269,7 @@ func (c *Cache) Unlock(a Addr) {
 // state (a "tag probe" used by tests and the attack classifier).
 func (c *Cache) Contains(a Addr) bool {
 	si := c.setIndex(a)
-	return c.lookup(&c.sets[si], a) >= 0
+	return c.lookup(si, a) >= 0
 }
 
 // SetOf returns the set index addr maps to.
@@ -263,9 +285,9 @@ type LineView struct {
 
 // SetState snapshots the lines of one set in way order.
 func (c *Cache) SetState(si int) []LineView {
-	s := &c.sets[si]
-	out := make([]LineView, len(s.lines))
-	for w, ln := range s.lines {
+	s := c.set(si)
+	out := make([]LineView, len(s))
+	for w, ln := range s {
 		out[w] = LineView{Valid: ln.valid, Addr: ln.addr, Domain: ln.domain, Locked: ln.locked}
 	}
 	return out
@@ -273,20 +295,17 @@ func (c *Cache) SetState(si int) []LineView {
 
 // PolicyState exposes the replacement metadata of one set (LRU ages, PLRU
 // bits, RRPVs), as drawn in the paper's Figure 4(d).
-func (c *Cache) PolicyState(si int) []int { return c.sets[si].policy.State() }
+func (c *Cache) PolicyState(si int) []int { return c.policy.State(si) }
 
 // Reset invalidates every line, clears lock bits, resets replacement state
 // and the prefetcher. The random policy's RNG stream is NOT reset, so
 // consecutive episodes see fresh randomness (a new seed requires a new
 // cache).
 func (c *Cache) Reset() {
-	for i := range c.sets {
-		s := &c.sets[i]
-		for w := range s.lines {
-			s.lines[w] = line{}
-		}
-		s.policy.Reset()
+	for i := range c.lines {
+		c.lines[i] = line{}
 	}
+	c.policy.Reset()
 	c.prefetch.reset()
 }
 
@@ -294,11 +313,9 @@ func (c *Cache) Reset() {
 // convenience for tests and invariant checks.
 func (c *Cache) ResidentAddrs() []Addr {
 	var out []Addr
-	for i := range c.sets {
-		for _, ln := range c.sets[i].lines {
-			if ln.valid {
-				out = append(out, ln.addr)
-			}
+	for i := range c.lines {
+		if c.lines[i].valid {
+			out = append(out, c.lines[i].addr)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -309,9 +326,9 @@ func (c *Cache) ResidentAddrs() []Addr {
 // one row per set, "addr(domain initial, lock flag)" per way.
 func (c *Cache) String() string {
 	var b strings.Builder
-	for i := range c.sets {
-		fmt.Fprintf(&b, "set %d:", i)
-		for _, ln := range c.sets[i].lines {
+	for si := 0; si < c.nsets; si++ {
+		fmt.Fprintf(&b, "set %d:", si)
+		for _, ln := range c.set(si) {
 			if !ln.valid {
 				b.WriteString(" [--]")
 				continue

@@ -337,6 +337,75 @@ func TestRandomMappingIsStableBijection(t *testing.T) {
 	}
 }
 
+func TestRandomMappingOutOfRangePanics(t *testing.T) {
+	c := New(Config{NumBlocks: 4, NumWays: 1, RandomMapping: true, AddrSpace: 16, Seed: 3})
+	for _, a := range []Addr{16, -1, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("access to %d outside the mapping window must panic, not map linearly", a)
+				}
+			}()
+			c.Access(a, DomainAttacker)
+		}()
+	}
+	// The default window without AddrSpace is 4×NumBlocks.
+	c = New(Config{NumBlocks: 4, NumWays: 1, RandomMapping: true, Seed: 3})
+	c.Access(15, DomainAttacker) // in window
+	defer func() {
+		if recover() == nil {
+			t.Error("access beyond 4×NumBlocks must panic with the default window")
+		}
+	}()
+	c.Access(16, DomainAttacker)
+}
+
+func TestRandomMappingPrefetcherNeedsAddrSpace(t *testing.T) {
+	err := Config{NumBlocks: 4, NumWays: 1, RandomMapping: true, Prefetcher: NextLine}.Validate()
+	if err == nil {
+		t.Fatal("RandomMapping + prefetcher without AddrSpace must be rejected")
+	}
+	if err := (Config{NumBlocks: 4, NumWays: 1, RandomMapping: true, Prefetcher: NextLine, AddrSpace: 16}).Validate(); err != nil {
+		t.Fatalf("explicit AddrSpace should validate, got %v", err)
+	}
+}
+
+// Access must not allocate in steady state: eviction records, prefetch
+// candidates, and the eligibility mask all live in cache-owned scratch.
+func TestAccessZeroAllocs(t *testing.T) {
+	for _, pol := range []PolicyKind{LRU, PLRU, RRIP, Random} {
+		t.Run(string(pol), func(t *testing.T) {
+			c := New(Config{NumBlocks: 64, NumWays: 8, Policy: pol, Seed: 9})
+			for a := Addr(0); a < 512; a++ { // warm scratch + fill
+				c.Access(a, DomainAttacker)
+			}
+			i := 0
+			avg := testing.AllocsPerRun(1000, func() {
+				c.Access(Addr(i%256), Domain(1+i%2))
+				i++
+			})
+			if avg != 0 {
+				t.Fatalf("Access allocates %.2f objects per call in steady state, want 0", avg)
+			}
+		})
+	}
+}
+
+func TestAccessZeroAllocsWithPrefetcher(t *testing.T) {
+	c := New(Config{NumBlocks: 16, NumWays: 4, Prefetcher: NextLine, AddrSpace: 64})
+	for a := Addr(0); a < 64; a++ {
+		c.Access(a, DomainAttacker)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		c.Access(Addr(i%64), DomainAttacker)
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("Access with prefetcher allocates %.2f objects per call, want 0", avg)
+	}
+}
+
 func TestResetRestoresColdCache(t *testing.T) {
 	c := newLRU4(t)
 	for a := Addr(0); a < 4; a++ {

@@ -74,7 +74,10 @@ type Config struct {
 	AddrSpace int
 	// RandomMapping applies a fixed random permutation to addresses before
 	// set indexing (the "fixed random address-to-set mapping" studied in
-	// §V-B). The permutation is derived from Seed.
+	// §V-B). The permutation is derived from Seed and covers the window
+	// [0, AddrSpace) (default [0, 4×NumBlocks) when AddrSpace is zero);
+	// accessing an address outside the window panics instead of silently
+	// bypassing the permutation.
 	RandomMapping bool
 	// Seed drives the random replacement policy and the random mapping.
 	Seed int64
@@ -106,6 +109,13 @@ func (c Config) Validate() error {
 	case "", NoPrefetch, NextLine, StreamPrefetch:
 	default:
 		return fmt.Errorf("cache: unknown prefetcher %q", c.Prefetcher)
+	}
+	if c.RandomMapping && c.AddrSpace == 0 {
+		switch c.Prefetcher {
+		case "", NoPrefetch:
+		default:
+			return fmt.Errorf("cache: RandomMapping with prefetcher %q needs an explicit AddrSpace so prefetch targets stay inside the permutation window", c.Prefetcher)
+		}
 	}
 	if c.Policy == PLRU {
 		w := c.NumWays

@@ -2,70 +2,75 @@ package cache
 
 import "math/rand"
 
-// Policy is the per-set replacement policy state machine. A set consults
-// its policy on every hit and fill and asks it for an eviction victim on a
-// conflict miss. Way indexes are 0-based positions within the set.
-type Policy interface {
-	// OnHit updates policy state after a hit in the given way.
-	OnHit(way int)
-	// OnFill updates policy state after a new line is installed in the
-	// given way.
-	OnFill(way int)
-	// Victim returns the way to evict when every candidate way is valid.
-	// The mask reports which ways are eligible (unlocked); at least one
-	// entry is true. Victim must return an eligible way.
-	Victim(eligible []bool) int
-	// Reset restores the power-on policy state.
+// policyBank is the replacement-policy state machine for every set of one
+// cache. All policy metadata (LRU ages, PLRU tree bits, RRPV counters)
+// lives in one contiguous per-cache array indexed by set, so the hot path
+// touches flat memory instead of chasing a per-set interface pointer. Way
+// indexes are 0-based positions within a set.
+type policyBank interface {
+	// OnHit updates policy state after a hit in the given way of set.
+	OnHit(set, way int)
+	// OnFill updates policy state after a new line is installed.
+	OnFill(set, way int)
+	// Victim returns the way to evict in set when every candidate way is
+	// valid. The mask reports which ways are eligible (unlocked); at
+	// least one entry is true. Victim must return an eligible way and
+	// must not retain the mask.
+	Victim(set int, eligible []bool) int
+	// Reset restores the power-on policy state of every set.
 	Reset()
-	// State exposes the raw policy metadata (LRU ages, PLRU tree bits,
-	// RRPV counters) for diagrams such as the paper's Figure 4(d).
-	State() []int
+	// State copies the raw policy metadata of one set (LRU ages, PLRU
+	// tree bits, RRPVs) for diagrams such as the paper's Figure 4(d).
+	State(set int) []int
 }
 
-// newPolicy constructs the policy named by kind for a set of the given
-// associativity. rng is used only by the random policy.
-func newPolicy(kind PolicyKind, ways int, rng *rand.Rand) Policy {
+// newPolicyBank constructs the bank named by kind for nsets sets of the
+// given associativity. rng is used only by the random policy.
+func newPolicyBank(kind PolicyKind, nsets, ways int, rng *rand.Rand) policyBank {
 	switch kind {
 	case PLRU:
-		return newTreePLRU(ways)
+		return newPLRUBank(nsets, ways)
 	case RRIP:
-		return newRRIP(ways)
+		return newRRIPBank(nsets, ways)
 	case Random:
-		return &randomPolicy{ways: ways, rng: rng}
+		return &randomBank{ways: ways, rng: rng}
 	default:
-		return newLRUPolicy(ways)
+		return newLRUBank(nsets, ways)
 	}
 }
 
-// lruPolicy implements true LRU. ages[w] is the recency rank of way w:
-// 0 is most recently used, ways-1 is least recently used. The ages always
-// form a permutation of 0..ways-1.
-type lruPolicy struct {
+// lruBank implements true LRU. ages[set*ways+w] is the recency rank of
+// way w: 0 is most recently used, ways-1 is least recently used. Each
+// set's ages always form a permutation of 0..ways-1.
+type lruBank struct {
+	ways int
 	ages []int
 }
 
-func newLRUPolicy(ways int) *lruPolicy {
-	p := &lruPolicy{ages: make([]int, ways)}
+func newLRUBank(nsets, ways int) *lruBank {
+	p := &lruBank{ways: ways, ages: make([]int, nsets*ways)}
 	p.Reset()
 	return p
 }
 
-func (p *lruPolicy) touch(way int) {
-	old := p.ages[way]
-	for w := range p.ages {
-		if p.ages[w] < old {
-			p.ages[w]++
+func (p *lruBank) touch(set, way int) {
+	ages := p.ages[set*p.ways : (set+1)*p.ways]
+	old := ages[way]
+	for w := range ages {
+		if ages[w] < old {
+			ages[w]++
 		}
 	}
-	p.ages[way] = 0
+	ages[way] = 0
 }
 
-func (p *lruPolicy) OnHit(way int)  { p.touch(way) }
-func (p *lruPolicy) OnFill(way int) { p.touch(way) }
+func (p *lruBank) OnHit(set, way int)  { p.touch(set, way) }
+func (p *lruBank) OnFill(set, way int) { p.touch(set, way) }
 
-func (p *lruPolicy) Victim(eligible []bool) int {
+func (p *lruBank) Victim(set int, eligible []bool) int {
+	ages := p.ages[set*p.ways : (set+1)*p.ways]
 	victim, worst := -1, -1
-	for w, age := range p.ages {
+	for w, age := range ages {
 		if eligible[w] && age > worst {
 			victim, worst = w, age
 		}
@@ -73,55 +78,58 @@ func (p *lruPolicy) Victim(eligible []bool) int {
 	return victim
 }
 
-func (p *lruPolicy) Reset() {
-	for w := range p.ages {
-		p.ages[w] = len(p.ages) - 1 - w
+func (p *lruBank) Reset() {
+	for i := range p.ages {
+		p.ages[i] = p.ways - 1 - i%p.ways
 	}
 }
 
-func (p *lruPolicy) State() []int {
-	out := make([]int, len(p.ages))
-	copy(out, p.ages)
+func (p *lruBank) State(set int) []int {
+	out := make([]int, p.ways)
+	copy(out, p.ages[set*p.ways:(set+1)*p.ways])
 	return out
 }
 
-// treePLRU implements tree-based pseudo-LRU: a binary tree of ways-1 bits.
-// Each internal node bit points toward the pseudo-least-recently-used half
-// (0 = left subtree is colder, 1 = right subtree is colder). On an access
-// the bits along the path are flipped to point away from the touched way.
-type treePLRU struct {
+// plruBank implements tree-based pseudo-LRU: per set, a binary tree of
+// ways-1 bits stored contiguously in heap order (children of node i are
+// 2i+1 and 2i+2). Each internal node bit points toward the
+// pseudo-least-recently-used half (0 = left subtree is colder, 1 = right
+// subtree is colder). On an access the bits along the path are flipped to
+// point away from the touched way.
+type plruBank struct {
 	ways int
-	bits []int // ways-1 internal nodes, heap order: children of i are 2i+1, 2i+2
+	bits []int // stride ways-1 per set
 }
 
-func newTreePLRU(ways int) *treePLRU {
-	return &treePLRU{ways: ways, bits: make([]int, ways-1)}
+func newPLRUBank(nsets, ways int) *plruBank {
+	return &plruBank{ways: ways, bits: make([]int, nsets*(ways-1))}
 }
 
-func (p *treePLRU) update(way int) {
+func (p *plruBank) update(set, way int) {
+	bits := p.bits[set*(p.ways-1) : (set+1)*(p.ways-1)]
 	// Walk from the root to the leaf, setting each bit to point away from
 	// the accessed way.
 	node, lo, hi := 0, 0, p.ways
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
 		if way < mid {
-			p.bits[node] = 1 // accessed left, cold side is right
+			bits[node] = 1 // accessed left, cold side is right
 			node, hi = 2*node+1, mid
 		} else {
-			p.bits[node] = 0 // accessed right, cold side is left
+			bits[node] = 0 // accessed right, cold side is left
 			node, lo = 2*node+2, mid
 		}
 	}
 }
 
-func (p *treePLRU) OnHit(way int)  { p.update(way) }
-func (p *treePLRU) OnFill(way int) { p.update(way) }
+func (p *plruBank) OnHit(set, way int)  { p.update(set, way) }
+func (p *plruBank) OnFill(set, way int) { p.update(set, way) }
 
-// Victim follows the cold-pointer bits from the root. If the indicated way
-// is ineligible (locked), it falls back to the first eligible way in
-// tree order, still preferring colder subtrees.
-func (p *treePLRU) Victim(eligible []bool) int {
-	if w := p.follow(0, 0, p.ways); eligible[w] {
+// Victim follows the cold-pointer bits from the root. If the indicated
+// way is ineligible (locked), it falls back to the first eligible way in
+// tree order.
+func (p *plruBank) Victim(set int, eligible []bool) int {
+	if w := p.follow(set); eligible[w] {
 		return w
 	}
 	for w := range eligible {
@@ -132,10 +140,12 @@ func (p *treePLRU) Victim(eligible []bool) int {
 	return -1
 }
 
-func (p *treePLRU) follow(node, lo, hi int) int {
+func (p *plruBank) follow(set int) int {
+	bits := p.bits[set*(p.ways-1) : (set+1)*(p.ways-1)]
+	node, lo, hi := 0, 0, p.ways
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
-		if p.bits[node] == 0 {
+		if bits[node] == 0 {
 			node, hi = 2*node+1, mid
 		} else {
 			node, lo = 2*node+2, mid
@@ -144,79 +154,83 @@ func (p *treePLRU) follow(node, lo, hi int) int {
 	return lo
 }
 
-func (p *treePLRU) Reset() {
+func (p *plruBank) Reset() {
 	for i := range p.bits {
 		p.bits[i] = 0
 	}
 }
 
-func (p *treePLRU) State() []int {
-	out := make([]int, len(p.bits))
-	copy(out, p.bits)
+func (p *plruBank) State(set int) []int {
+	out := make([]int, p.ways-1)
+	copy(out, p.bits[set*(p.ways-1):(set+1)*(p.ways-1)])
 	return out
 }
 
-// rripPolicy implements 2-bit static RRIP [26]: each way keeps a
+// rripBank implements 2-bit static RRIP [26]: each way keeps a
 // re-reference prediction value (RRPV) in 0..3. New lines are installed
 // with RRPV 2 ("long re-reference interval"); a hit promotes the line to
 // RRPV 0. The victim is a way with RRPV 3; if none exists, all RRPVs age
 // until one reaches 3.
-type rripPolicy struct {
+type rripBank struct {
+	ways int
 	rrpv []int
 }
 
 const rripMax = 3
 const rripInsert = 2
 
-func newRRIP(ways int) *rripPolicy {
-	p := &rripPolicy{rrpv: make([]int, ways)}
+func newRRIPBank(nsets, ways int) *rripBank {
+	p := &rripBank{ways: ways, rrpv: make([]int, nsets*ways)}
 	p.Reset()
 	return p
 }
 
-func (p *rripPolicy) OnHit(way int)  { p.rrpv[way] = 0 }
-func (p *rripPolicy) OnFill(way int) { p.rrpv[way] = rripInsert }
+func (p *rripBank) OnHit(set, way int)  { p.rrpv[set*p.ways+way] = 0 }
+func (p *rripBank) OnFill(set, way int) { p.rrpv[set*p.ways+way] = rripInsert }
 
-func (p *rripPolicy) Victim(eligible []bool) int {
+func (p *rripBank) Victim(set int, eligible []bool) int {
+	rrpv := p.rrpv[set*p.ways : (set+1)*p.ways]
 	for {
-		for w, v := range p.rrpv {
+		for w, v := range rrpv {
 			if eligible[w] && v == rripMax {
 				return w
 			}
 		}
 		// Age every line and retry; locked lines age too, matching
 		// hardware where the SRRIP aging sweep is oblivious to locks.
-		for w := range p.rrpv {
-			if p.rrpv[w] < rripMax {
-				p.rrpv[w]++
+		for w := range rrpv {
+			if rrpv[w] < rripMax {
+				rrpv[w]++
 			}
 		}
 	}
 }
 
-func (p *rripPolicy) Reset() {
-	for w := range p.rrpv {
-		p.rrpv[w] = rripMax
+func (p *rripBank) Reset() {
+	for i := range p.rrpv {
+		p.rrpv[i] = rripMax
 	}
 }
 
-func (p *rripPolicy) State() []int {
-	out := make([]int, len(p.rrpv))
-	copy(out, p.rrpv)
+func (p *rripBank) State(set int) []int {
+	out := make([]int, p.ways)
+	copy(out, p.rrpv[set*p.ways:(set+1)*p.ways])
 	return out
 }
 
-// randomPolicy evicts a uniformly random eligible way, modelling the
+// randomBank evicts a uniformly random eligible way, modelling the
 // pseudo-random replacement found in ARM cores and studied in Table VI.
-type randomPolicy struct {
+// All sets share the cache's RNG stream, exactly as the per-set policies
+// shared it before the bank refactor.
+type randomBank struct {
 	ways int
 	rng  *rand.Rand
 }
 
-func (p *randomPolicy) OnHit(int)  {}
-func (p *randomPolicy) OnFill(int) {}
+func (p *randomBank) OnHit(int, int)  {}
+func (p *randomBank) OnFill(int, int) {}
 
-func (p *randomPolicy) Victim(eligible []bool) int {
+func (p *randomBank) Victim(set int, eligible []bool) int {
 	n := 0
 	for _, e := range eligible {
 		if e {
@@ -238,6 +252,6 @@ func (p *randomPolicy) Victim(eligible []bool) int {
 	return -1
 }
 
-func (p *randomPolicy) Reset() {}
+func (p *randomBank) Reset() {}
 
-func (p *randomPolicy) State() []int { return nil }
+func (p *randomBank) State(int) []int { return nil }

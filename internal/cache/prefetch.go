@@ -5,9 +5,10 @@ package cache
 // but are reported separately in Result.Prefetched so the environment can
 // annotate traces the way Table IV does ("6(p7)").
 type prefetcher interface {
-	// after returns the addresses to prefetch following a demand access
-	// to a.
-	after(a Addr) []Addr
+	// after appends the addresses to prefetch following a demand access
+	// to a onto dst and returns the extended slice (append-style, so the
+	// hot path reuses one scratch buffer instead of allocating).
+	after(a Addr, dst []Addr) []Addr
 	// reset clears any training state.
 	reset()
 }
@@ -25,8 +26,8 @@ func newPrefetcher(kind PrefetcherKind, addrSpace int) prefetcher {
 
 type noPrefetcher struct{}
 
-func (noPrefetcher) after(Addr) []Addr { return nil }
-func (noPrefetcher) reset()            {}
+func (noPrefetcher) after(_ Addr, dst []Addr) []Addr { return dst }
+func (noPrefetcher) reset()                          {}
 
 // nextLinePrefetcher fetches a+1 after every demand access [64]. The
 // successor wraps modulo the configured address space, reproducing the
@@ -35,12 +36,12 @@ type nextLinePrefetcher struct {
 	addrSpace int
 }
 
-func (p *nextLinePrefetcher) after(a Addr) []Addr {
+func (p *nextLinePrefetcher) after(a Addr, dst []Addr) []Addr {
 	n := Addr(a + 1)
 	if p.addrSpace > 0 {
 		n = Addr((int(a) + 1) % p.addrSpace)
 	}
-	return []Addr{n}
+	return append(dst, n)
 }
 
 func (p *nextLinePrefetcher) reset() {}
@@ -57,11 +58,11 @@ type streamPrefetcher struct {
 	primed    bool
 }
 
-func (p *streamPrefetcher) after(a Addr) []Addr {
+func (p *streamPrefetcher) after(a Addr, dst []Addr) []Addr {
 	defer func() { p.last = a }()
 	if !p.primed {
 		p.primed = true
-		return nil
+		return dst
 	}
 	s := int(a) - int(p.last)
 	if s > 0 && s == p.stride {
@@ -71,13 +72,13 @@ func (p *streamPrefetcher) after(a Addr) []Addr {
 	}
 	p.stride = s
 	if !p.confirmed {
-		return nil
+		return dst
 	}
 	n := int(a) + s
 	if p.addrSpace > 0 {
 		n %= p.addrSpace
 	}
-	return []Addr{Addr(n)}
+	return append(dst, Addr(n))
 }
 
 func (p *streamPrefetcher) reset() {

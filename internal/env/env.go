@@ -49,8 +49,9 @@ type Env struct {
 	hits      int // correct guesses this episode
 
 	window      int
-	history     []stepFeature
-	trace       []TraceStep
+	history     []stepFeature // preallocated to MaxSteps, reused across Reset
+	trace       []TraceStep   // preallocated to MaxSteps, reused across Reset
+	pfArena     []cache.Addr  // per-episode storage for TraceStep.Prefetched
 	lastVerdict detect.Verdict
 	hasVerdict  bool
 }
@@ -98,6 +99,11 @@ func New(cfg Config) (*Env, error) {
 		actions: buildActions(cfg),
 		window:  window,
 	}
+	// Episodes never exceed MaxSteps, so the history and trace buffers are
+	// sized once here and reused across every Reset (no steady-state
+	// allocation in the step hot path).
+	e.history = make([]stepFeature, 0, e.MaxSteps())
+	e.trace = make([]TraceStep, 0, e.MaxSteps())
 	e.resetState()
 	return e, nil
 }
@@ -161,7 +167,9 @@ func (e *Env) Secrets() []cache.Addr {
 	return out
 }
 
-// Trace returns the steps executed so far in the current episode.
+// Trace returns the steps executed so far in the current episode. The
+// slice (and the Prefetched slices inside it) is reused by the next
+// Reset; callers that keep a trace across episodes must deep-copy it.
 func (e *Env) Trace() []TraceStep { return e.trace }
 
 // EpisodeGuesses returns (correct, total) guesses in the current episode.
@@ -191,6 +199,7 @@ func (e *Env) resetState() {
 	e.guesses, e.hits = 0, 0
 	e.trace = e.trace[:0]
 	e.history = e.history[:0]
+	e.pfArena = e.pfArena[:0]
 	e.warmup()
 	if e.cfg.PreloadVictimLines {
 		// Installed after warm-up so the lines are resident (though
@@ -239,16 +248,36 @@ func (e *Env) warmup() {
 	}
 }
 
-// Reset starts a new episode and returns the initial observation.
+// Reset starts a new episode and returns the initial observation in a
+// fresh slice. Hot loops should use ResetInto with a reused buffer.
 func (e *Env) Reset() []float64 {
 	e.resetState()
 	return e.Obs()
 }
 
-// Step executes one action. It returns the next observation, the reward,
-// and whether the episode ended. Calling Step on a finished episode panics;
-// the RL loop must Reset first.
+// ResetInto starts a new episode and writes the initial observation into
+// obs, which must have length ObsDim. The environment never retains obs;
+// the caller owns it.
+func (e *Env) ResetInto(obs []float64) {
+	e.resetState()
+	e.ObsInto(obs)
+}
+
+// Step executes one action. It returns the next observation (in a fresh
+// slice), the reward, and whether the episode ended. Calling Step on a
+// finished episode panics; the RL loop must Reset first. Hot loops should
+// use StepInto with a reused observation buffer.
 func (e *Env) Step(action int) (obs []float64, reward float64, done bool) {
+	obs = make([]float64, e.ObsDim())
+	reward, done = e.StepInto(action, obs)
+	return obs, reward, done
+}
+
+// StepInto executes one action and writes the next observation into obs,
+// which must have length ObsDim. The environment never retains obs; the
+// caller owns it, so rollout actors can step with zero steady-state
+// allocations. Semantics otherwise match Step.
+func (e *Env) StepInto(action int, obs []float64) (reward float64, done bool) {
 	if e.done {
 		panic("env: Step called on finished episode")
 	}
@@ -262,7 +291,15 @@ func (e *Env) Step(action int) (obs []float64, reward float64, done bool) {
 	switch dec.kind {
 	case KindAccess:
 		res := e.target.Access(dec.addr, cache.DomainAttacker)
-		step.Hit, step.Latency, step.Prefetched = res.Hit, res.Latency, res.Prefetched
+		step.Hit, step.Latency = res.Hit, res.Latency
+		// res.Prefetched aliases cache-owned scratch that the next access
+		// overwrites; copy it into the per-episode arena so the trace
+		// stays valid for the rest of the episode.
+		if n := len(res.Prefetched); n > 0 {
+			start := len(e.pfArena)
+			e.pfArena = append(e.pfArena, res.Prefetched...)
+			step.Prefetched = e.pfArena[start : start+n : start+n]
+		}
 		if res.Hit {
 			lat = latHit
 		} else {
@@ -348,7 +385,8 @@ func (e *Env) Step(action int) (obs []float64, reward float64, done bool) {
 	}
 
 	e.trace = append(e.trace, step)
-	return e.Obs(), reward, e.done
+	e.ObsInto(obs)
+	return reward, e.done
 }
 
 // Verdict returns the detector's end-of-episode verdict. The boolean is
@@ -362,18 +400,31 @@ func (e *Env) record(a detect.Access) {
 	}
 }
 
-// Obs returns the flattened W×F observation: the most recent W steps,
-// newest first, zero-padded when the episode is younger than the window.
+// Obs returns the flattened W×F observation in a fresh slice: the most
+// recent W steps, newest first, zero-padded when the episode is younger
+// than the window.
 func (e *Env) Obs() []float64 {
+	out := make([]float64, e.ObsDim())
+	e.ObsInto(out)
+	return out
+}
+
+// ObsInto writes the flattened W×F observation into dst, which must have
+// length ObsDim. It is the allocation-free form of Obs.
+func (e *Env) ObsInto(dst []float64) {
 	w, f := e.window, e.FeatureDim()
-	out := make([]float64, w*f)
+	if len(dst) != w*f {
+		panic(fmt.Sprintf("env: ObsInto buffer has length %d, want %d", len(dst), w*f))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i := 0; i < w; i++ {
-		slot := out[i*f : (i+1)*f]
+		slot := dst[i*f : (i+1)*f]
 		h := len(e.history) - 1 - i
 		if h < 0 {
 			// Empty slot: latency N.A., action "none".
 			slot[latNA] = 1
-			slot[3+e.actions.total] = 0
 			continue
 		}
 		sf := e.history[h]
@@ -386,7 +437,6 @@ func (e *Env) Obs() []float64 {
 			slot[3+e.actions.total+2] = 1
 		}
 	}
-	return out
 }
 
 // SeqObs returns the observation as a W×F matrix (rows newest-first) for

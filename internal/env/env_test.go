@@ -241,6 +241,79 @@ func TestObsShapeAndWindow(t *testing.T) {
 	}
 }
 
+// StepInto/ResetInto/ObsInto must match the allocating API bit-for-bit.
+func TestStepIntoMatchesStep(t *testing.T) {
+	cfg := fa4Config()
+	e1 := mustEnv(t, cfg)
+	e2 := mustEnv(t, cfg)
+	rng := rand.New(rand.NewSource(8))
+	obs2 := make([]float64, e2.ObsDim())
+	obs1 := e1.Reset()
+	e2.ResetInto(obs2)
+	for i := 0; i < 500; i++ {
+		a := rng.Intn(e1.NumActions())
+		o1, r1, d1 := e1.Step(a)
+		r2, d2 := e2.StepInto(a, obs2)
+		if r1 != r2 || d1 != d2 {
+			t.Fatalf("step %d diverged: (%v,%v) vs (%v,%v)", i, r1, d1, r2, d2)
+		}
+		for j := range o1 {
+			if o1[j] != obs2[j] {
+				t.Fatalf("step %d obs[%d] = %v vs %v", i, j, o1[j], obs2[j])
+			}
+		}
+		if d1 {
+			obs1 = e1.Reset()
+			e2.ResetInto(obs2)
+			for j := range obs1 {
+				if obs1[j] != obs2[j] {
+					t.Fatalf("reset obs[%d] diverged", j)
+				}
+			}
+		}
+	}
+}
+
+func TestObsIntoRejectsWrongLength(t *testing.T) {
+	e := mustEnv(t, fa4Config())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ObsInto with a short buffer must panic")
+		}
+	}()
+	e.ObsInto(make([]float64, 3))
+}
+
+// The step hot path must not allocate: history, trace, and the
+// observation all live in preallocated buffers.
+func TestStepIntoZeroAllocs(t *testing.T) {
+	e := mustEnv(t, fa4Config())
+	obs := make([]float64, e.ObsDim())
+	e.ResetInto(obs)
+	// Warm the per-episode arenas through a few full episodes.
+	for i := 0; i < 64; i++ {
+		if _, done := e.StepInto(e.AccessAction(cache.Addr(i%4)), obs); done {
+			e.ResetInto(obs)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		var done bool
+		if i%5 == 4 {
+			_, done = e.StepInto(e.VictimAction(), obs)
+		} else {
+			_, done = e.StepInto(e.AccessAction(cache.Addr(i%4)), obs)
+		}
+		if done {
+			e.ResetInto(obs)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("StepInto allocates %.2f objects per call in steady state, want 0", avg)
+	}
+}
+
 func TestTriggeredFlagInObservation(t *testing.T) {
 	e := mustEnv(t, fa4Config())
 	e.Reset()

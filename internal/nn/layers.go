@@ -41,6 +41,14 @@ func (l *Linear) Params() []*Param {
 // state; it is safe for concurrent use.
 func (l *Linear) Apply(x []float64) []float64 {
 	y := make([]float64, l.Out)
+	l.ApplyInto(x, y)
+	return y
+}
+
+// ApplyInto computes y = xW + b into the caller-owned y (bias is written
+// first, then the products accumulate — the same summation order as
+// Apply, so both produce identical bits).
+func (l *Linear) ApplyInto(x, y []float64) {
 	copy(y, l.B)
 	for i, xv := range x {
 		if xv == 0 {
@@ -51,76 +59,151 @@ func (l *Linear) Apply(x []float64) []float64 {
 			y[j] += xv * wrow[j]
 		}
 	}
-	return y
+}
+
+// ApplyBatchInto computes Y = XW + b row by row in Apply's bias-first
+// summation order. This is the inference-path batch kernel; Forward uses
+// the products-first order instead (the two differ in the last float bit,
+// and each batched path must mirror its per-sample counterpart exactly).
+func (l *Linear) ApplyBatchInto(X, Y *Mat) {
+	for i := 0; i < X.R; i++ {
+		l.ApplyInto(X.Row(i), Y.Row(i))
+	}
 }
 
 // Forward computes Y = XW + b for a batch.
 func (l *Linear) Forward(X *Mat) *Mat {
-	Y := MatMul(X, l.W)
+	Y := NewMat(X.R, l.Out)
+	l.ForwardInto(X, Y)
+	return Y
+}
+
+// ForwardInto computes Y = XW + b in place (products accumulate first,
+// bias is added last — Forward's order, used on the gradient recompute
+// path).
+func (l *Linear) ForwardInto(X, Y *Mat) {
+	MatMulInto(Y, X, l.W)
 	for i := 0; i < Y.R; i++ {
 		row := Y.Row(i)
 		for j := range row {
 			row[j] += l.B[j]
 		}
 	}
-	return Y
 }
 
-// Backward accumulates dW += XᵀdY and dB += Σrows(dY), returning dX.
+// Backward accumulates dW += XᵀdY and dB += Σrows(dY), returning dX. The
+// weight-gradient total XᵀdY is computed first and added as one term
+// (part-then-add); BackwardRowsInto instead folds rows in directly. The
+// two orders differ in the last float bit once dW is non-zero, so each
+// batched path must use the order its per-sample counterpart used.
 func (l *Linear) Backward(X, dY *Mat) *Mat {
-	dWpart := MatMulATB(X, dY)
+	dX := NewMat(dY.R, l.In)
+	part := NewMat(l.In, l.Out)
+	l.BackwardPartInto(X, dY, dX, part)
+	return dX
+}
+
+// BackwardPartInto is the allocation-free part-then-add backward: dWpart
+// is caller scratch (In×Out) receiving the XᵀdY total before it is added
+// to dW as one term, matching Backward bit-for-bit. dX may be nil when
+// the input gradient is not needed (first layer of a network).
+func (l *Linear) BackwardPartInto(X, dY, dX, dWpart *Mat) {
+	MatMulATBInto(dWpart, X, dY)
 	for i := range l.dW.Data {
 		l.dW.Data[i] += dWpart.Data[i]
 	}
+	l.backwardBias(dY)
+	if dX != nil {
+		MatMulABTInto(dX, dY, l.W)
+	}
+}
+
+// BackwardRowsInto accumulates dW sample-row by sample-row — the same
+// per-element addition sequence as calling Backward once per single-row
+// sample — and writes dX into the caller-owned matrix. The batched MLP
+// path uses it to reproduce the per-sample training trajectory exactly.
+func (l *Linear) BackwardRowsInto(X, dY, dX *Mat) {
+	matMulATBAcc(l.dW, X, dY)
+	l.backwardBias(dY)
+	if dX != nil {
+		MatMulABTInto(dX, dY, l.W)
+	}
+}
+
+// backwardBias accumulates dB += Σrows(dY).
+func (l *Linear) backwardBias(dY *Mat) {
 	for i := 0; i < dY.R; i++ {
 		row := dY.Row(i)
 		for j := range row {
 			l.dB[j] += row[j]
 		}
 	}
-	return MatMulABT(dY, l.W)
 }
 
 // Tanh applies tanh elementwise, returning a new matrix.
 func Tanh(X *Mat) *Mat {
 	Y := NewMat(X.R, X.C)
+	TanhInto(X, Y)
+	return Y
+}
+
+// TanhInto applies tanh elementwise into Y (X and Y may alias).
+func TanhInto(X, Y *Mat) {
 	for i, v := range X.Data {
 		Y.Data[i] = math.Tanh(v)
 	}
-	return Y
 }
 
 // TanhBackward returns dX given the tanh output Y and upstream dY:
 // dx = dy · (1 − y²).
 func TanhBackward(Y, dY *Mat) *Mat {
 	dX := NewMat(Y.R, Y.C)
+	TanhBackwardInto(Y, dY, dX)
+	return dX
+}
+
+// TanhBackwardInto writes dX = dY · (1 − Y²) into the caller-owned dX.
+func TanhBackwardInto(Y, dY, dX *Mat) {
 	for i := range Y.Data {
 		y := Y.Data[i]
 		dX.Data[i] = dY.Data[i] * (1 - y*y)
 	}
-	return dX
 }
 
 // ReLU applies max(0, x) elementwise.
 func ReLU(X *Mat) *Mat {
 	Y := NewMat(X.R, X.C)
+	ReLUInto(X, Y)
+	return Y
+}
+
+// ReLUInto applies max(0, x) elementwise into Y.
+func ReLUInto(X, Y *Mat) {
 	for i, v := range X.Data {
 		if v > 0 {
 			Y.Data[i] = v
+		} else {
+			Y.Data[i] = 0
 		}
 	}
-	return Y
 }
 
 // ReLUBackward returns dX given the pre-activation X and upstream dY.
 func ReLUBackward(X, dY *Mat) *Mat {
 	dX := NewMat(X.R, X.C)
+	ReLUBackwardInto(X, dY, dX)
+	return dX
+}
+
+// ReLUBackwardInto writes the masked upstream gradient into dX.
+func ReLUBackwardInto(X, dY, dX *Mat) {
 	for i := range X.Data {
 		if X.Data[i] > 0 {
 			dX.Data[i] = dY.Data[i]
+		} else {
+			dX.Data[i] = 0
 		}
 	}
-	return dX
 }
 
 // LayerNorm normalizes each row to zero mean / unit variance and applies a
@@ -167,7 +250,19 @@ type lnCache struct {
 // Forward normalizes each row of X.
 func (ln *LayerNorm) Forward(X *Mat) (*Mat, *lnCache) {
 	Y := NewMat(X.R, X.C)
-	c := &lnCache{xhat: NewMat(X.R, X.C), invStd: make([]float64, X.R)}
+	c := &lnCache{}
+	ln.ForwardInto(X, Y, c)
+	return Y, c
+}
+
+// ForwardInto normalizes each row of X into Y, reusing the caller-owned
+// cache's buffers across calls.
+func (ln *LayerNorm) ForwardInto(X, Y *Mat, c *lnCache) {
+	EnsureMat(&c.xhat, X.R, X.C)
+	if cap(c.invStd) < X.R {
+		c.invStd = make([]float64, X.R)
+	}
+	c.invStd = c.invStd[:X.R]
 	for i := 0; i < X.R; i++ {
 		row := X.Row(i)
 		mean := 0.0
@@ -190,18 +285,23 @@ func (ln *LayerNorm) Forward(X *Mat) (*Mat, *lnCache) {
 			yr[j] = xh[j]*ln.Gain[j] + ln.Bias[j]
 		}
 	}
-	return Y, c
 }
 
 // Backward accumulates gain/bias gradients and returns dX.
 func (ln *LayerNorm) Backward(c *lnCache, dY *Mat) *Mat {
 	dX := NewMat(dY.R, dY.C)
+	ln.BackwardInto(c, dY, dX, make([]float64, dY.C))
+	return dX
+}
+
+// BackwardInto accumulates gain/bias gradients and writes dX into the
+// caller-owned matrix; dxh is caller scratch of width dY.C.
+func (ln *LayerNorm) BackwardInto(c *lnCache, dY, dX *Mat, dxh []float64) {
 	n := float64(dY.C)
 	for i := 0; i < dY.R; i++ {
 		dyr, xh := dY.Row(i), c.xhat.Row(i)
 		// dxhat = dy * gain
 		sumDx, sumDxXh := 0.0, 0.0
-		dxh := make([]float64, dY.C)
 		for j := range dyr {
 			ln.dGain[j] += dyr[j] * xh[j]
 			ln.dBias[j] += dyr[j]
@@ -215,12 +315,16 @@ func (ln *LayerNorm) Backward(c *lnCache, dY *Mat) *Mat {
 			dxr[j] = inv / n * (n*dxh[j] - sumDx - xh[j]*sumDxXh)
 		}
 	}
-	return dX
 }
 
 // Softmax returns the row-wise softmax of logits, numerically stabilized.
 func Softmax(logits []float64) []float64 {
-	out := make([]float64, len(logits))
+	return SoftmaxInto(make([]float64, len(logits)), logits)
+}
+
+// SoftmaxInto writes the softmax of logits into the caller-owned out
+// (same length) and returns it; the allocation-free form of Softmax.
+func SoftmaxInto(out, logits []float64) []float64 {
 	max := math.Inf(-1)
 	for _, v := range logits {
 		if v > max {
@@ -240,6 +344,12 @@ func Softmax(logits []float64) []float64 {
 
 // LogSoftmax returns log-probabilities for the logits.
 func LogSoftmax(logits []float64) []float64 {
+	return LogSoftmaxInto(make([]float64, len(logits)), logits)
+}
+
+// LogSoftmaxInto writes log-probabilities into the caller-owned out (same
+// length) and returns it.
+func LogSoftmaxInto(out, logits []float64) []float64 {
 	max := math.Inf(-1)
 	for _, v := range logits {
 		if v > max {
@@ -251,7 +361,6 @@ func LogSoftmax(logits []float64) []float64 {
 		sum += math.Exp(v - max)
 	}
 	lse := max + math.Log(sum)
-	out := make([]float64, len(logits))
 	for i, v := range logits {
 		out[i] = v - lse
 	}

@@ -62,15 +62,42 @@ func FromRows(rows [][]float64) *Mat {
 	return m
 }
 
+// EnsureMat reslices *p to an r×c matrix, reusing the backing array when
+// its capacity suffices and allocating otherwise. Contents are undefined;
+// the Into-style kernels overwrite or zero their destinations. The
+// batched hot path uses it so scratch matrices are allocated once per
+// network (or per trainer worker) and reused for every minibatch.
+func EnsureMat(p **Mat, r, c int) *Mat {
+	m := *p
+	if m == nil || cap(m.Data) < r*c {
+		m = &Mat{R: r, C: c, Data: make([]float64, r*c)}
+		*p = m
+		return m
+	}
+	m.R, m.C, m.Data = r, c, m.Data[:r*c]
+	return m
+}
+
 // MatMul returns a·b for a R×K and b K×C.
 func MatMul(a, b *Mat) *Mat {
+	out := NewMat(a.R, b.C)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a·b in place (dst is zeroed first). The
+// accumulation order per element matches MatMul exactly.
+func MatMulInto(dst, a, b *Mat) {
 	if a.C != b.R {
 		panic(fmt.Sprintf("nn: matmul shape mismatch %dx%d · %dx%d", a.R, a.C, b.R, b.C))
 	}
-	out := NewMat(a.R, b.C)
+	if dst.R != a.R || dst.C != b.C {
+		panic(fmt.Sprintf("nn: matmul dst shape %dx%d, want %dx%d", dst.R, dst.C, a.R, b.C))
+	}
+	dst.Zero()
 	for i := 0; i < a.R; i++ {
 		arow := a.Row(i)
-		orow := out.Row(i)
+		orow := dst.Row(i)
 		for k := 0; k < a.C; k++ {
 			av := arow[k]
 			if av == 0 {
@@ -82,41 +109,66 @@ func MatMul(a, b *Mat) *Mat {
 			}
 		}
 	}
-	return out
 }
 
 // MatMulATB returns aᵀ·b for a R×K and b R×C (a K×C result); the shape of
 // weight gradients dW = Xᵀ·dY.
 func MatMulATB(a, b *Mat) *Mat {
+	out := NewMat(a.C, b.C)
+	MatMulATBInto(out, a, b)
+	return out
+}
+
+// MatMulATBInto computes dst = aᵀ·b in place (dst is zeroed first).
+func MatMulATBInto(dst, a, b *Mat) {
 	if a.R != b.R {
 		panic(fmt.Sprintf("nn: matmulATB shape mismatch %dx%d · %dx%d", a.R, a.C, b.R, b.C))
 	}
-	out := NewMat(a.C, b.C)
+	if dst.R != a.C || dst.C != b.C {
+		panic(fmt.Sprintf("nn: matmulATB dst shape %dx%d, want %dx%d", dst.R, dst.C, a.C, b.C))
+	}
+	dst.Zero()
+	matMulATBAcc(dst, a, b)
+}
+
+// matMulATBAcc accumulates dst += aᵀ·b, visiting rows of a in order — the
+// same per-element addition sequence as summing per-sample outer products,
+// which keeps batched weight gradients bit-identical to the per-sample
+// loop.
+func matMulATBAcc(dst, a, b *Mat) {
 	for r := 0; r < a.R; r++ {
 		arow, brow := a.Row(r), b.Row(r)
 		for i, av := range arow {
 			if av == 0 {
 				continue
 			}
-			orow := out.Row(i)
+			orow := dst.Row(i)
 			for j, bv := range brow {
 				orow[j] += av * bv
 			}
 		}
 	}
-	return out
 }
 
 // MatMulABT returns a·bᵀ for a R×K and b C×K (a R×C result); the shape of
 // input gradients dX = dY·Wᵀ.
 func MatMulABT(a, b *Mat) *Mat {
+	out := NewMat(a.R, b.R)
+	MatMulABTInto(out, a, b)
+	return out
+}
+
+// MatMulABTInto computes dst = a·bᵀ in place (every element is written).
+func MatMulABTInto(dst, a, b *Mat) {
 	if a.C != b.C {
 		panic(fmt.Sprintf("nn: matmulABT shape mismatch %dx%d · %dx%d", a.R, a.C, b.R, b.C))
 	}
-	out := NewMat(a.R, b.R)
+	if dst.R != a.R || dst.C != b.R {
+		panic(fmt.Sprintf("nn: matmulABT dst shape %dx%d, want %dx%d", dst.R, dst.C, a.R, b.R))
+	}
 	for i := 0; i < a.R; i++ {
 		arow := a.Row(i)
-		orow := out.Row(i)
+		orow := dst.Row(i)
 		for j := 0; j < b.R; j++ {
 			brow := b.Row(j)
 			s := 0.0
@@ -126,7 +178,6 @@ func MatMulABT(a, b *Mat) *Mat {
 			orow[j] = s
 		}
 	}
-	return out
 }
 
 // Param is one trainable tensor: a flat value slice and its gradient

@@ -7,12 +7,24 @@ import (
 
 // PolicyValueNet is the network contract the PPO trainer consumes: a policy
 // head producing action logits and a value head estimating the state value.
-// Apply is read-only and safe for concurrent rollout actors; Grad
-// recomputes the forward pass for one sample and accumulates parameter
-// gradients, and must be called from one goroutine at a time per net.
+//
+// Apply is read-only and safe for concurrent rollout actors. ApplyBatch
+// and GradBatch run whole minibatches (observations flattened row-major
+// into a B×ObsDim matrix) through preallocated per-net scratch buffers and
+// therefore require exclusive use of the net, as does Grad. The
+// per-sample Apply/Grad are thin wrappers over the same batched kernels.
 type PolicyValueNet interface {
 	Apply(obs []float64) (logits []float64, value float64)
+	// ApplyBatch writes action logits into the caller-owned B×Actions
+	// matrix and state values into the caller-owned length-B slice for a
+	// B×ObsDim batch of observations.
+	ApplyBatch(X *Mat, logits *Mat, values []float64)
 	Grad(obs []float64, dLogits []float64, dValue float64)
+	// GradBatch recomputes the forward pass for the batch and accumulates
+	// parameter gradients for the given upstream logit/value gradients.
+	// The accumulation order matches per-sample Grad calls in row order
+	// bit-for-bit.
+	GradBatch(X *Mat, dLogits *Mat, dValues []float64)
 	Params() []*Param
 	NumActions() int
 	ObsDim() int
@@ -29,14 +41,26 @@ type MLPConfig struct {
 	Seed   int64
 }
 
+// mlpScratch holds the preallocated forward/backward buffers for one
+// exclusive user of the network. Batch size varies per call; ensureMat
+// grows the buffers on demand and reuses them afterwards.
+type mlpScratch struct {
+	acts []*Mat // activations per trunk layer (batch kernels)
+	vals *Mat   // value-head output column
+	dh   []*Mat // upstream gradients entering each trunk boundary
+	dz   []*Mat // pre-activation gradients per trunk layer
+	dhv  *Mat   // value-head contribution to the last hidden gradient
+}
+
 // MLPPolicy is a tanh MLP trunk with linear policy and value heads, the
 // fast default backbone (the paper notes MLP also finds attacks, §VI-B).
 type MLPPolicy struct {
-	cfg    MLPConfig
-	trunk  []*Linear
-	pHead  *Linear
-	vHead  *Linear
-	params []*Param
+	cfg     MLPConfig
+	trunk   []*Linear
+	pHead   *Linear
+	vHead   *Linear
+	params  []*Param
+	scratch mlpScratch
 }
 
 // NewMLP builds the network with Xavier initialization. The final policy
@@ -63,6 +87,11 @@ func NewMLP(cfg MLPConfig) *MLPPolicy {
 	}
 	m.params = append(m.params, m.pHead.Params()...)
 	m.params = append(m.params, m.vHead.Params()...)
+	m.scratch = mlpScratch{
+		acts: make([]*Mat, len(m.trunk)),
+		dh:   make([]*Mat, len(m.trunk)),
+		dz:   make([]*Mat, len(m.trunk)),
+	}
 	return m
 }
 
@@ -79,7 +108,9 @@ func (m *MLPPolicy) ObsDim() int { return m.cfg.ObsDim }
 // Params returns all trainable tensors.
 func (m *MLPPolicy) Params() []*Param { return m.params }
 
-// Apply runs a stateless forward pass for one observation.
+// Apply runs a stateless forward pass for one observation. It allocates
+// its intermediates locally, so concurrent rollout actors can share one
+// net; hot batch paths use ApplyBatch instead.
 func (m *MLPPolicy) Apply(obs []float64) ([]float64, float64) {
 	h := obs
 	for _, l := range m.trunk {
@@ -94,27 +125,76 @@ func (m *MLPPolicy) Apply(obs []float64) ([]float64, float64) {
 	return logits, v[0]
 }
 
+// ApplyBatch runs the forward pass for a B×ObsDim batch through the
+// preallocated scratch buffers, writing logits (B×Actions) and values
+// (length B) into caller-owned storage. Each row matches Apply
+// bit-for-bit (bias-first summation order).
+func (m *MLPPolicy) ApplyBatch(X *Mat, logits *Mat, values []float64) {
+	s := &m.scratch
+	h := X
+	for li, l := range m.trunk {
+		z := EnsureMat(&s.acts[li], X.R, l.Out)
+		l.ApplyBatchInto(h, z)
+		for i, v := range z.Data {
+			z.Data[i] = math.Tanh(v)
+		}
+		h = z
+	}
+	m.pHead.ApplyBatchInto(h, logits)
+	vals := EnsureMat(&s.vals, X.R, 1)
+	m.vHead.ApplyBatchInto(h, vals)
+	for i := 0; i < X.R; i++ {
+		values[i] = vals.Data[i]
+	}
+}
+
 // Grad recomputes the forward pass for one sample and accumulates
-// gradients for the given upstream logits/value gradients.
+// parameter gradients for the given upstream logits/value gradients. Like
+// GradBatch it uses the net-owned scratch, so it must be called from one
+// goroutine at a time per net.
 func (m *MLPPolicy) Grad(obs []float64, dLogits []float64, dValue float64) {
 	X := &Mat{R: 1, C: len(obs), Data: obs}
-	acts := make([]*Mat, 0, len(m.trunk)+1)
-	acts = append(acts, X)
-	h := X
-	for _, l := range m.trunk {
-		h = Tanh(l.Forward(h))
-		acts = append(acts, h)
-	}
 	dL := &Mat{R: 1, C: len(dLogits), Data: dLogits}
-	dV := &Mat{R: 1, C: 1, Data: []float64{dValue}}
-	dh := m.pHead.Backward(h, dL)
-	dhv := m.vHead.Backward(h, dV)
+	var dv [1]float64
+	dv[0] = dValue
+	m.GradBatch(X, dL, dv[:])
+}
+
+// GradBatch recomputes the forward pass for the batch (Forward's
+// products-first order, as the per-sample Grad always did) and
+// accumulates gradients. Weight gradients fold in sample-row by
+// sample-row, reproducing the sequence of per-sample Grad calls exactly.
+func (m *MLPPolicy) GradBatch(X *Mat, dLogits *Mat, dValues []float64) {
+	s := &m.scratch
+	h := X
+	for li, l := range m.trunk {
+		z := EnsureMat(&s.acts[li], X.R, l.Out)
+		l.ForwardInto(h, z)
+		for i, v := range z.Data {
+			z.Data[i] = math.Tanh(v)
+		}
+		h = z
+	}
+	dV := &Mat{R: X.R, C: 1, Data: dValues}
+	last := len(m.trunk) - 1
+	dh := EnsureMat(&s.dh[last], X.R, m.trunk[last].Out)
+	m.pHead.BackwardRowsInto(h, dLogits, dh)
+	dhv := EnsureMat(&s.dhv, X.R, m.trunk[last].Out)
+	m.vHead.BackwardRowsInto(h, dV, dhv)
 	for i := range dh.Data {
 		dh.Data[i] += dhv.Data[i]
 	}
-	for i := len(m.trunk) - 1; i >= 0; i-- {
-		dz := TanhBackward(acts[i+1], dh)
-		dh = m.trunk[i].Backward(acts[i], dz)
+	for i := last; i >= 0; i-- {
+		act := s.acts[i]
+		dz := EnsureMat(&s.dz[i], X.R, m.trunk[i].Out)
+		TanhBackwardInto(act, dh, dz)
+		if i == 0 {
+			m.trunk[0].BackwardRowsInto(X, dz, nil)
+			break
+		}
+		dnext := EnsureMat(&s.dh[i-1], X.R, m.trunk[i-1].Out)
+		m.trunk[i].BackwardRowsInto(s.acts[i-1], dz, dnext)
+		dh = dnext
 	}
 }
 

@@ -246,6 +246,108 @@ func TestLayerNormGradCheck(t *testing.T) {
 	}
 }
 
+// batchNets builds one MLP and one Transformer sized for the batch
+// equivalence tests.
+func batchNets() []PolicyValueNet {
+	return []PolicyValueNet{
+		NewMLP(MLPConfig{ObsDim: 12, Actions: 5, Hidden: []int{10, 8}, Seed: 11}),
+		NewTransformer(TransformerConfig{Window: 4, Features: 3, Actions: 5, Model: 8, Heads: 2, FF: 12, Seed: 11}),
+	}
+}
+
+func randBatch(rng *rand.Rand, rows, dim int) *Mat {
+	X := NewMat(rows, dim)
+	for i := range X.Data {
+		X.Data[i] = rng.NormFloat64()
+	}
+	return X
+}
+
+// ApplyBatch must reproduce per-sample Apply bit-for-bit, row by row.
+func TestApplyBatchMatchesApply(t *testing.T) {
+	for _, net := range batchNets() {
+		rng := rand.New(rand.NewSource(21))
+		X := randBatch(rng, 7, net.ObsDim())
+		logits := NewMat(7, net.NumActions())
+		values := make([]float64, 7)
+		net.ApplyBatch(X, logits, values)
+		for i := 0; i < X.R; i++ {
+			l, v := net.Apply(X.Row(i))
+			if v != values[i] {
+				t.Fatalf("row %d value: batch %v vs single %v", i, values[i], v)
+			}
+			for j := range l {
+				if l[j] != logits.At(i, j) {
+					t.Fatalf("row %d logit %d: batch %v vs single %v", i, j, logits.At(i, j), l[j])
+				}
+			}
+		}
+	}
+}
+
+// GradBatch must reproduce the sequence of per-sample Grad calls
+// bit-for-bit — the property the golden-trace training test relies on.
+func TestGradBatchMatchesPerSampleGrad(t *testing.T) {
+	for _, batched := range batchNets() {
+		single := batched.Clone()
+		rng := rand.New(rand.NewSource(22))
+		const rows = 6
+		X := randBatch(rng, rows, batched.ObsDim())
+		dL := randBatch(rng, rows, batched.NumActions())
+		dV := make([]float64, rows)
+		for i := range dV {
+			dV[i] = rng.NormFloat64()
+		}
+		ZeroGrads(batched.Params())
+		ZeroGrads(single.Params())
+		batched.GradBatch(X, dL, dV)
+		for i := 0; i < rows; i++ {
+			single.Grad(X.Row(i), dL.Row(i), dV[i])
+		}
+		bp, sp := batched.Params(), single.Params()
+		for p := range bp {
+			for j := range bp[p].Grad {
+				if bp[p].Grad[j] != sp[p].Grad[j] {
+					t.Fatalf("param %s grad[%d]: batch %v vs per-sample %v",
+						bp[p].Name, j, bp[p].Grad[j], sp[p].Grad[j])
+				}
+			}
+		}
+	}
+}
+
+// The batched MLP forward must not allocate once its scratch is warm.
+func TestMLPApplyBatchZeroAllocs(t *testing.T) {
+	net := NewMLP(MLPConfig{ObsDim: 272, Actions: 11, Seed: 1})
+	rng := rand.New(rand.NewSource(23))
+	X := randBatch(rng, 32, 272)
+	logits := NewMat(32, 11)
+	values := make([]float64, 32)
+	net.ApplyBatch(X, logits, values) // warm scratch
+	avg := testing.AllocsPerRun(200, func() {
+		net.ApplyBatch(X, logits, values)
+	})
+	if avg != 0 {
+		t.Fatalf("ApplyBatch allocates %.2f objects per call in steady state, want 0", avg)
+	}
+}
+
+// The batched MLP backward must not allocate either.
+func TestMLPGradBatchZeroAllocs(t *testing.T) {
+	net := NewMLP(MLPConfig{ObsDim: 272, Actions: 11, Seed: 1})
+	rng := rand.New(rand.NewSource(24))
+	X := randBatch(rng, 32, 272)
+	dL := randBatch(rng, 32, 11)
+	dV := make([]float64, 32)
+	net.GradBatch(X, dL, dV) // warm scratch
+	avg := testing.AllocsPerRun(100, func() {
+		net.GradBatch(X, dL, dV)
+	})
+	if avg != 0 {
+		t.Fatalf("GradBatch allocates %.2f objects per call in steady state, want 0", avg)
+	}
+}
+
 func TestApplyIsPureAndConcurrencySafe(t *testing.T) {
 	net := NewMLP(MLPConfig{ObsDim: 4, Actions: 3, Hidden: []int{5}, Seed: 8})
 	obs := []float64{0.1, -0.2, 0.3, 0.4}

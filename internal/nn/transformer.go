@@ -47,6 +47,7 @@ type TransformerPolicy struct {
 	ff1, ff2       *Linear
 	pHead, vHead   *Linear
 	params         []*Param
+	scratch        *tfScratch
 }
 
 // NewTransformer builds the network; it panics when Heads does not divide
@@ -80,6 +81,7 @@ func NewTransformer(cfg TransformerConfig) *TransformerPolicy {
 	}
 	t.params = append(t.params, t.ln1.Params()...)
 	t.params = append(t.params, t.ln2.Params()...)
+	t.scratch = newTfScratch(cfg)
 	return t
 }
 
@@ -99,19 +101,26 @@ func (t *TransformerPolicy) Clone() PolicyValueNet {
 	return out
 }
 
-// tfState carries every intermediate needed for the backward pass.
-type tfState struct {
-	X       *Mat // W×F input
+// tfScratch carries every intermediate of the forward and backward pass
+// for one sequence. All matrices have shapes fixed by the configuration,
+// so one scratch is allocated per exclusive user and reused for every
+// sample of every minibatch.
+type tfScratch struct {
+	// forward
 	E       *Mat // embedded W×D
 	N1      *Mat
-	ln1c    *lnCache
+	ln1c    lnCache
 	Q, K, V *Mat
-	heads   []headState
+	P       []*Mat // per-head W×W attention weights (post-softmax)
+	qh      *Mat   // per-head column slices, reused across heads
+	kh, vh  *Mat
+	scores  *Mat
+	oh      *Mat
 	O       *Mat // concatenated attention output
 	AOut    *Mat // after wo
 	H1      *Mat // E + AOut
 	N2      *Mat
-	ln2c    *lnCache
+	ln2c    lnCache
 	F1      *Mat // ff1 pre-activation
 	R       *Mat // relu(F1)
 	F2      *Mat
@@ -119,23 +128,83 @@ type tfState struct {
 	pool    []float64
 	logits  []float64
 	value   float64
+
+	// backward
+	poolMat          *Mat
+	dPool, dPoolV    *Mat
+	dH2, dR, dF1     *Mat
+	dN2, dH1, dO     *Mat
+	dQ, dK, dV2      *Mat
+	dOh, dP, dS      *Mat
+	dVh, dQh, dKh    *Mat
+	dN1, dN1k, dN1v  *Mat
+	dE, dX           *Mat
+	dxh              []float64
+	dWpartD, dWpartF *Mat // part-then-add scratch: max(In×Out) shapes
+	dWpartE          *Mat
 }
 
-// headState keeps one attention head's score matrix (post-softmax).
-type headState struct {
-	P *Mat // W×W attention weights
-}
-
-// colSlice copies columns [lo,hi) of m into a new matrix.
-func colSlice(m *Mat, lo, hi int) *Mat {
-	out := NewMat(m.R, hi-lo)
-	for i := 0; i < m.R; i++ {
-		copy(out.Row(i), m.Row(i)[lo:hi])
+// newTfForwardScratch allocates the forward-pass buffers only — all
+// Apply needs, so the concurrent rollout path stays cheap.
+func newTfForwardScratch(cfg TransformerConfig) *tfScratch {
+	w, d, ff := cfg.Window, cfg.Model, cfg.FF
+	dh := d / cfg.Heads
+	s := &tfScratch{
+		E: NewMat(w, d), N1: NewMat(w, d),
+		Q: NewMat(w, d), K: NewMat(w, d), V: NewMat(w, d),
+		qh: NewMat(w, dh), kh: NewMat(w, dh), vh: NewMat(w, dh),
+		scores: NewMat(w, w), oh: NewMat(w, dh),
+		O: NewMat(w, d), AOut: NewMat(w, d), H1: NewMat(w, d),
+		N2: NewMat(w, d), F1: NewMat(w, ff), R: NewMat(w, ff),
+		F2: NewMat(w, d), H2: NewMat(w, d),
+		pool: make([]float64, d), logits: make([]float64, cfg.Actions),
 	}
-	return out
+	for h := 0; h < cfg.Heads; h++ {
+		s.P = append(s.P, NewMat(w, w))
+	}
+	return s
 }
 
-// addColSlice accumulates src into columns [lo,hi) of dst.
+// newTfScratch allocates forward plus backward buffers for the exclusive
+// training user of the net.
+func newTfScratch(cfg TransformerConfig) *tfScratch {
+	w, d, ff := cfg.Window, cfg.Model, cfg.FF
+	dh := d / cfg.Heads
+	s := newTfForwardScratch(cfg)
+	s.poolMat = &Mat{R: 1, C: d}
+	s.dPool, s.dPoolV = NewMat(1, d), NewMat(1, d)
+	s.dH2, s.dR, s.dF1 = NewMat(w, d), NewMat(w, ff), NewMat(w, ff)
+	s.dN2, s.dH1, s.dO = NewMat(w, d), NewMat(w, d), NewMat(w, d)
+	s.dQ, s.dK, s.dV2 = NewMat(w, d), NewMat(w, d), NewMat(w, d)
+	s.dOh, s.dP, s.dS = NewMat(w, dh), NewMat(w, w), NewMat(w, w)
+	s.dVh, s.dQh, s.dKh = NewMat(w, dh), NewMat(w, dh), NewMat(w, dh)
+	s.dN1, s.dN1k, s.dN1v = NewMat(w, d), NewMat(w, d), NewMat(w, d)
+	s.dE, s.dX = NewMat(w, d), NewMat(w, cfg.Features)
+	s.dxh = make([]float64, d)
+	// Weight-gradient part scratch, one per distinct shape family:
+	// D-wide outputs (embed/wq/wk/wv/wo/ff2), the FF-wide ff1, and the
+	// heads.
+	s.dWpartD = NewMat(max(cfg.Features, d, ff), d)
+	s.dWpartF = NewMat(d, ff)
+	s.dWpartE = NewMat(d, max(cfg.Actions, 1))
+	return s
+}
+
+// partD reslices the D-wide part scratch for an in×out layer.
+func (s *tfScratch) partD(in, out int) *Mat {
+	s.dWpartD.R, s.dWpartD.C = in, out
+	s.dWpartD.Data = s.dWpartD.Data[:in*out]
+	return s.dWpartD
+}
+
+// colSliceInto copies columns [lo,hi) of m into dst.
+func colSliceInto(dst, m *Mat, lo, hi int) {
+	for i := 0; i < m.R; i++ {
+		copy(dst.Row(i), m.Row(i)[lo:hi])
+	}
+}
+
+// addColSlice accumulates src into columns starting at lo of dst.
 func addColSlice(dst *Mat, src *Mat, lo int) {
 	for i := 0; i < src.R; i++ {
 		drow := dst.Row(i)
@@ -145,47 +214,49 @@ func addColSlice(dst *Mat, src *Mat, lo int) {
 	}
 }
 
-// forward runs the full network for one observation sequence.
-func (t *TransformerPolicy) forward(obs []float64) *tfState {
+// forwardInto runs the full network for one observation sequence through
+// the given scratch.
+func (t *TransformerPolicy) forwardInto(obs []float64, s *tfScratch) {
 	cfg := t.cfg
-	s := &tfState{X: &Mat{R: cfg.Window, C: cfg.Features, Data: obs}}
-	s.E = t.embed.Forward(s.X)
-	s.N1, s.ln1c = t.ln1.Forward(s.E)
-	s.Q = t.wq.Forward(s.N1)
-	s.K = t.wk.Forward(s.N1)
-	s.V = t.wv.Forward(s.N1)
+	X := &Mat{R: cfg.Window, C: cfg.Features, Data: obs}
+	t.embed.ForwardInto(X, s.E)
+	t.ln1.ForwardInto(s.E, s.N1, &s.ln1c)
+	t.wq.ForwardInto(s.N1, s.Q)
+	t.wk.ForwardInto(s.N1, s.K)
+	t.wv.ForwardInto(s.N1, s.V)
 	dh := cfg.Model / cfg.Heads
 	scale := 1 / math.Sqrt(float64(dh))
-	s.O = NewMat(cfg.Window, cfg.Model)
+	s.O.Zero()
 	for h := 0; h < cfg.Heads; h++ {
 		lo, hi := h*dh, (h+1)*dh
-		qh, kh, vh := colSlice(s.Q, lo, hi), colSlice(s.K, lo, hi), colSlice(s.V, lo, hi)
-		scores := MatMulABT(qh, kh)
-		for i := range scores.Data {
-			scores.Data[i] *= scale
+		colSliceInto(s.qh, s.Q, lo, hi)
+		colSliceInto(s.kh, s.K, lo, hi)
+		colSliceInto(s.vh, s.V, lo, hi)
+		MatMulABTInto(s.scores, s.qh, s.kh)
+		for i := range s.scores.Data {
+			s.scores.Data[i] *= scale
 		}
-		P := NewMat(scores.R, scores.C)
-		for i := 0; i < scores.R; i++ {
-			copy(P.Row(i), Softmax(scores.Row(i)))
+		P := s.P[h]
+		for i := 0; i < s.scores.R; i++ {
+			SoftmaxInto(P.Row(i), s.scores.Row(i))
 		}
-		oh := MatMul(P, vh)
-		addColSlice(s.O, oh, lo)
-		s.heads = append(s.heads, headState{P: P})
+		MatMulInto(s.oh, P, s.vh)
+		addColSlice(s.O, s.oh, lo)
 	}
-	s.AOut = t.wo.Forward(s.O)
-	s.H1 = NewMat(cfg.Window, cfg.Model)
+	t.wo.ForwardInto(s.O, s.AOut)
 	for i := range s.H1.Data {
 		s.H1.Data[i] = s.E.Data[i] + s.AOut.Data[i]
 	}
-	s.N2, s.ln2c = t.ln2.Forward(s.H1)
-	s.F1 = t.ff1.Forward(s.N2)
-	s.R = ReLU(s.F1)
-	s.F2 = t.ff2.Forward(s.R)
-	s.H2 = NewMat(cfg.Window, cfg.Model)
+	t.ln2.ForwardInto(s.H1, s.N2, &s.ln2c)
+	t.ff1.ForwardInto(s.N2, s.F1)
+	ReLUInto(s.F1, s.R)
+	t.ff2.ForwardInto(s.R, s.F2)
 	for i := range s.H2.Data {
 		s.H2.Data[i] = s.H1.Data[i] + s.F2.Data[i]
 	}
-	s.pool = make([]float64, cfg.Model)
+	for j := range s.pool {
+		s.pool[j] = 0
+	}
 	for i := 0; i < cfg.Window; i++ {
 		row := s.H2.Row(i)
 		for j := range s.pool {
@@ -195,67 +266,97 @@ func (t *TransformerPolicy) forward(obs []float64) *tfState {
 	for j := range s.pool {
 		s.pool[j] /= float64(cfg.Window)
 	}
-	s.logits = t.pHead.Apply(s.pool)
-	s.value = t.vHead.Apply(s.pool)[0]
-	return s
+	t.pHead.ApplyInto(s.pool, s.logits)
+	var v [1]float64
+	t.vHead.ApplyInto(s.pool, v[:])
+	s.value = v[0]
 }
 
 // Apply runs a stateless forward pass; safe for concurrent actors because
-// all intermediates are local.
+// it allocates its scratch locally.
 func (t *TransformerPolicy) Apply(obs []float64) ([]float64, float64) {
-	s := t.forward(obs)
+	s := newTfForwardScratch(t.cfg)
+	t.forwardInto(obs, s)
 	return s.logits, s.value
 }
 
+// ApplyBatch runs the forward pass for each row of the B×(W·F) batch
+// through the net-owned scratch, writing logits and values into
+// caller-owned storage. Requires exclusive use of the net.
+func (t *TransformerPolicy) ApplyBatch(X *Mat, logits *Mat, values []float64) {
+	for i := 0; i < X.R; i++ {
+		t.forwardInto(X.Row(i), t.scratch)
+		copy(logits.Row(i), t.scratch.logits)
+		values[i] = t.scratch.value
+	}
+}
+
 // Grad recomputes the forward pass for one sample and accumulates
-// parameter gradients.
+// parameter gradients; it must be called from one goroutine at a time per
+// net (it uses the net-owned scratch).
 func (t *TransformerPolicy) Grad(obs []float64, dLogits []float64, dValue float64) {
+	t.gradInto(obs, dLogits, dValue, t.scratch)
+}
+
+// GradBatch accumulates gradients for each row of the batch in row order,
+// reproducing the sequence of per-sample Grad calls bit-for-bit.
+func (t *TransformerPolicy) GradBatch(X *Mat, dLogits *Mat, dValues []float64) {
+	for i := 0; i < X.R; i++ {
+		t.gradInto(X.Row(i), dLogits.Row(i), dValues[i], t.scratch)
+	}
+}
+
+// gradInto recomputes the forward pass for one sample and accumulates
+// parameter gradients. Every weight gradient is accumulated
+// part-then-add (the XᵀdY total computed first, then added to dW as one
+// term), the order the pre-batching implementation used.
+func (t *TransformerPolicy) gradInto(obs []float64, dLogits []float64, dValue float64, s *tfScratch) {
 	cfg := t.cfg
-	s := t.forward(obs)
-	pool := &Mat{R: 1, C: cfg.Model, Data: s.pool}
+	t.forwardInto(obs, s)
+	s.poolMat.Data = s.pool
 	dL := &Mat{R: 1, C: len(dLogits), Data: dLogits}
-	dV := &Mat{R: 1, C: 1, Data: []float64{dValue}}
-	dPool := t.pHead.Backward(pool, dL)
-	dPoolV := t.vHead.Backward(pool, dV)
-	for i := range dPool.Data {
-		dPool.Data[i] += dPoolV.Data[i]
+	var dv [1]float64
+	dv[0] = dValue
+	dV := &Mat{R: 1, C: 1, Data: dv[:]}
+	t.pHead.BackwardPartInto(s.poolMat, dL, s.dPool, s.partHead(cfg.Actions))
+	t.vHead.BackwardPartInto(s.poolMat, dV, s.dPoolV, s.partHead(1))
+	for i := range s.dPool.Data {
+		s.dPool.Data[i] += s.dPoolV.Data[i]
 	}
 	// Mean pool: every row of H2 receives dPool / W.
-	dH2 := NewMat(cfg.Window, cfg.Model)
 	for i := 0; i < cfg.Window; i++ {
-		row := dH2.Row(i)
+		row := s.dH2.Row(i)
 		for j := range row {
-			row[j] = dPool.Data[j] / float64(cfg.Window)
+			row[j] = s.dPool.Data[j] / float64(cfg.Window)
 		}
 	}
 	// H2 = H1 + F2.
-	dR := t.ff2.Backward(s.R, dH2)
-	dF1 := ReLUBackward(s.F1, dR)
-	dN2 := t.ff1.Backward(s.N2, dF1)
-	dH1 := t.ln2.Backward(s.ln2c, dN2)
-	for i := range dH1.Data {
-		dH1.Data[i] += dH2.Data[i] // residual
+	t.ff2.BackwardPartInto(s.R, s.dH2, s.dR, s.partD(cfg.FF, cfg.Model))
+	ReLUBackwardInto(s.F1, s.dR, s.dF1)
+	t.ff1.BackwardPartInto(s.N2, s.dF1, s.dN2, s.dWpartF)
+	t.ln2.BackwardInto(&s.ln2c, s.dN2, s.dH1, s.dxh)
+	for i := range s.dH1.Data {
+		s.dH1.Data[i] += s.dH2.Data[i] // residual
 	}
 	// H1 = E + AOut.
-	dO := t.wo.Backward(s.O, dH1)
+	t.wo.BackwardPartInto(s.O, s.dH1, s.dO, s.partD(cfg.Model, cfg.Model))
 	dh := cfg.Model / cfg.Heads
 	scale := 1 / math.Sqrt(float64(dh))
-	dQ := NewMat(cfg.Window, cfg.Model)
-	dK := NewMat(cfg.Window, cfg.Model)
-	dV2 := NewMat(cfg.Window, cfg.Model)
+	s.dQ.Zero()
+	s.dK.Zero()
+	s.dV2.Zero()
 	for h := 0; h < cfg.Heads; h++ {
 		lo, hi := h*dh, (h+1)*dh
-		dOh := colSlice(dO, lo, hi)
-		P := s.heads[h].P
-		vh := colSlice(s.V, lo, hi)
-		qh := colSlice(s.Q, lo, hi)
-		kh := colSlice(s.K, lo, hi)
-		dP := MatMulABT(dOh, vh)
-		dVh := MatMulATB(P, dOh)
+		colSliceInto(s.dOh, s.dO, lo, hi)
+		P := s.P[h]
+		colSliceInto(s.vh, s.V, lo, hi)
+		colSliceInto(s.qh, s.Q, lo, hi)
+		colSliceInto(s.kh, s.K, lo, hi)
+		MatMulABTInto(s.dP, s.dOh, s.vh)
+		MatMulATBInto(s.dVh, P, s.dOh)
 		// Softmax backward per row.
-		dS := NewMat(P.R, P.C)
 		for i := 0; i < P.R; i++ {
-			pr, dpr, dsr := P.Row(i), dP.Row(i), dS.Row(i)
+			pr, dpr, dsr := P.Row(i), s.dP.Row(i), s.dS.Row(i)
 			dot := 0.0
 			for j := range pr {
 				dot += pr[j] * dpr[j]
@@ -264,24 +365,32 @@ func (t *TransformerPolicy) Grad(obs []float64, dLogits []float64, dValue float6
 				dsr[j] = pr[j] * (dpr[j] - dot)
 			}
 		}
-		for i := range dS.Data {
-			dS.Data[i] *= scale
+		for i := range s.dS.Data {
+			s.dS.Data[i] *= scale
 		}
-		dQh := MatMul(dS, kh)
-		dKh := MatMulATB(dS, qh)
-		addColSlice(dQ, dQh, lo)
-		addColSlice(dK, dKh, lo)
-		addColSlice(dV2, dVh, lo)
+		MatMulInto(s.dQh, s.dS, s.kh)
+		MatMulATBInto(s.dKh, s.dS, s.qh)
+		addColSlice(s.dQ, s.dQh, lo)
+		addColSlice(s.dK, s.dKh, lo)
+		addColSlice(s.dV2, s.dVh, lo)
 	}
-	dN1 := t.wq.Backward(s.N1, dQ)
-	dN1k := t.wk.Backward(s.N1, dK)
-	dN1v := t.wv.Backward(s.N1, dV2)
-	for i := range dN1.Data {
-		dN1.Data[i] += dN1k.Data[i] + dN1v.Data[i]
+	t.wq.BackwardPartInto(s.N1, s.dQ, s.dN1, s.partD(cfg.Model, cfg.Model))
+	t.wk.BackwardPartInto(s.N1, s.dK, s.dN1k, s.partD(cfg.Model, cfg.Model))
+	t.wv.BackwardPartInto(s.N1, s.dV2, s.dN1v, s.partD(cfg.Model, cfg.Model))
+	for i := range s.dN1.Data {
+		s.dN1.Data[i] += s.dN1k.Data[i] + s.dN1v.Data[i]
 	}
-	dE := t.ln1.Backward(s.ln1c, dN1)
-	for i := range dE.Data {
-		dE.Data[i] += dH1.Data[i] // residual into E
+	t.ln1.BackwardInto(&s.ln1c, s.dN1, s.dE, s.dxh)
+	for i := range s.dE.Data {
+		s.dE.Data[i] += s.dH1.Data[i] // residual into E
 	}
-	t.embed.Backward(s.X, dE)
+	X := &Mat{R: cfg.Window, C: cfg.Features, Data: obs}
+	t.embed.BackwardPartInto(X, s.dE, nil, s.partD(cfg.Features, cfg.Model))
+}
+
+// partHead reslices the head part scratch for a D×out head layer.
+func (s *tfScratch) partHead(out int) *Mat {
+	s.dWpartE.R, s.dWpartE.C = s.dPool.C, out
+	s.dWpartE.Data = s.dWpartE.Data[:s.dPool.C*out]
+	return s.dWpartE
 }

@@ -160,7 +160,10 @@ type Result struct {
 }
 
 // Trainer owns the policy network, the parallel environment actors, and
-// the optimizer state for one training run.
+// the optimizer state for one training run. All rollout and update
+// buffers are preallocated and reused across epochs, so the steady-state
+// hot path allocates nothing beyond what the policy's concurrent Apply
+// needs (see DESIGN.md "Hot path & data layout").
 type Trainer struct {
 	cfg  PPOConfig
 	net  nn.PolicyValueNet
@@ -172,6 +175,41 @@ type Trainer struct {
 	curEnt  float64             // entropy coefficient for the current epoch
 	curEps  float64             // exploration mix for the current epoch
 	workers []nn.PolicyValueNet // gradient shard clones
+
+	actorBufs []actorBuf      // per-actor transition + observation storage
+	batch     []transition    // reusable epoch batch
+	wscratch  []workerScratch // per-gradient-worker minibatch buffers
+}
+
+// actorBuf is one rollout actor's reusable storage: its transition slice
+// and a flat arena holding every observation of the epoch (slot i backs
+// trans[i].obs), so stepping allocates nothing.
+type actorBuf struct {
+	trans []transition
+	arena []float64
+	probs []float64
+}
+
+// workerScratch is one gradient worker's reusable minibatch storage: the
+// gathered observation batch, the forward outputs, the upstream gradients,
+// and the per-shard loss sums.
+type workerScratch struct {
+	X       *nn.Mat
+	logits  *nn.Mat
+	dLogits *nn.Mat
+	values  []float64
+	dValues []float64
+	lp      []float64
+	probs   []float64
+	pl, vl  float64
+}
+
+// ensureFloats grows a float scratch slice to length n.
+func ensureFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // NewTrainer wires a policy network to a set of parallel environments.
@@ -204,6 +242,8 @@ func NewTrainer(net nn.PolicyValueNet, envs []*env.Env, cfg PPOConfig) (*Trainer
 	for w := 0; w < cfg.Workers; w++ {
 		t.workers = append(t.workers, net.Clone())
 	}
+	t.actorBufs = make([]actorBuf, len(envs))
+	t.wscratch = make([]workerScratch, cfg.Workers)
 	return t, nil
 }
 
@@ -243,7 +283,7 @@ func (t *Trainer) collect() []actorResult {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = t.runActor(t.envs[i], t.rngs[i], perActor)
+			results[i] = t.runActor(t.envs[i], t.rngs[i], perActor, &t.actorBufs[i])
 		}(i)
 	}
 	wg.Wait()
@@ -251,17 +291,33 @@ func (t *Trainer) collect() []actorResult {
 }
 
 // runActor plays episodes until the step budget is met, computing GAE
-// returns at each episode end.
-func (t *Trainer) runActor(e *env.Env, rng *rand.Rand, budget int) actorResult {
+// returns at each episode end. Observations live in the actor's flat
+// arena (slot i backs trans[i].obs) and transitions in its reusable
+// slice; both stay valid until the actor's next epoch.
+func (t *Trainer) runActor(e *env.Env, rng *rand.Rand, budget int, buf *actorBuf) actorResult {
+	obsDim := e.ObsDim()
+	// The loop exits once the budget is met and the final episode adds at
+	// most MaxSteps transitions, plus one trailing slot for the
+	// post-terminal observation — a provable arena bound, so the arena
+	// never reallocates (which would dangle earlier trans[i].obs slices).
+	slots := budget + e.MaxSteps() + 1
+	if cap(buf.arena) < slots*obsDim {
+		buf.arena = make([]float64, slots*obsDim)
+	}
+	buf.arena = buf.arena[:slots*obsDim]
+	buf.probs = ensureFloats(buf.probs, e.NumActions())
+	buf.trans = buf.trans[:0]
+	probs := buf.probs
 	var res actorResult
-	for len(res.trans) < budget {
-		start := len(res.trans)
-		obs := e.Reset()
+	for len(buf.trans) < budget {
+		start := len(buf.trans)
+		obs := buf.arena[start*obsDim : (start+1)*obsDim]
+		e.ResetInto(obs)
 		done := false
 		epRet := 0.0
 		for !done {
 			logits, value := t.net.Apply(obs)
-			probs := nn.Softmax(logits)
+			nn.SoftmaxInto(probs, logits)
 			// Behavior policy: μ = (1-ε)π + ε·uniform.
 			if eps := t.curEps; eps > 0 {
 				u := 1 / float64(len(probs))
@@ -270,8 +326,9 @@ func (t *Trainer) runActor(e *env.Env, rng *rand.Rand, budget int) actorResult {
 				}
 			}
 			action := nn.SampleCategorical(probs, rng)
-			next, reward, d := e.Step(action)
-			res.trans = append(res.trans, transition{
+			next := buf.arena[(len(buf.trans)+1)*obsDim : (len(buf.trans)+2)*obsDim]
+			reward, d := e.StepInto(action, next)
+			buf.trans = append(buf.trans, transition{
 				obs: obs, action: action,
 				logp: math.Log(probs[action]), value: value, reward: reward,
 				entropy: nn.Entropy(probs),
@@ -283,11 +340,12 @@ func (t *Trainer) runActor(e *env.Env, rng *rand.Rand, budget int) actorResult {
 		correct, guesses := e.EpisodeGuesses()
 		res.episodes++
 		res.sumRet += epRet
-		res.sumLen += len(res.trans) - start
+		res.sumLen += len(buf.trans) - start
 		res.guesses += guesses
 		res.correct += correct
-		t.gae(res.trans[start:])
+		t.gae(buf.trans[start:])
 	}
+	res.trans = buf.trans
 	return res
 }
 
@@ -333,7 +391,7 @@ func (t *Trainer) Epoch(epochIdx int) EpochStats {
 	t.curEnt = t.entCoefAt(epochIdx)
 	t.curEps = t.exploreEpsAt(epochIdx)
 	results := t.collect()
-	var batch []transition
+	batch := t.batch[:0]
 	st := EpochStats{Epoch: epochIdx}
 	entSum := 0.0
 	for _, r := range results {
@@ -359,6 +417,7 @@ func (t *Trainer) Epoch(epochIdx int) EpochStats {
 		st.Entropy = entSum / float64(len(batch))
 	}
 
+	t.batch = batch // keep the grown buffer for the next epoch
 	t.normalizeAdvantages(batch)
 	pl, vl := t.update(batch)
 	st.PolicyLoss, st.ValueLoss = pl, vl
@@ -414,16 +473,17 @@ func (t *Trainer) update(batch []transition) (policyLoss, valueLoss float64) {
 	return policyLoss, valueLoss
 }
 
-// minibatch computes PPO gradients for one minibatch (sharded across the
-// gradient workers), applies clipping and one Adam step, and returns the
-// mean losses.
+// minibatch computes PPO gradients for one minibatch, sharded across the
+// gradient workers (worker w takes samples w, w+nw, … of the minibatch,
+// preserving the reduction order of the per-sample implementation), then
+// applies clipping and one Adam step and returns the mean losses. Each
+// worker gathers its shard into a preallocated observation batch and runs
+// it through the policy's batched forward/backward path.
 func (t *Trainer) minibatch(batch []transition, mb []int) (policyLoss, valueLoss float64) {
 	nw := len(t.workers)
 	if nw > len(mb) {
 		nw = len(mb)
 	}
-	type shardLoss struct{ pl, vl float64 }
-	losses := make([]shardLoss, nw)
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		nn.CopyWeights(t.workers[w], t.net)
@@ -431,20 +491,15 @@ func (t *Trainer) minibatch(batch []transition, mb []int) (policyLoss, valueLoss
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for k := w; k < len(mb); k += nw {
-				tr := batch[mb[k]]
-				pl, vl := t.sampleGrad(t.workers[w], tr, float64(len(mb)))
-				losses[w].pl += pl
-				losses[w].vl += vl
-			}
+			t.workerShard(t.workers[w], &t.wscratch[w], batch, mb, w, nw)
 		}(w)
 	}
 	wg.Wait()
 	nn.ZeroGrads(t.net.Params())
 	for w := 0; w < nw; w++ {
 		nn.AddGrads(t.net.Params(), t.workers[w].Params())
-		policyLoss += losses[w].pl
-		valueLoss += losses[w].vl
+		policyLoss += t.wscratch[w].pl
+		valueLoss += t.wscratch[w].vl
 	}
 	nn.ClipGrads(t.net.Params(), t.cfg.MaxGradNorm)
 	t.opt.Step()
@@ -453,52 +508,72 @@ func (t *Trainer) minibatch(batch []transition, mb []int) (policyLoss, valueLoss
 	return policyLoss, valueLoss
 }
 
-// sampleGrad computes the PPO loss gradient for one transition on the
-// given worker network, scaled by 1/batchSize.
-func (t *Trainer) sampleGrad(net nn.PolicyValueNet, tr transition, batchSize float64) (pl, vl float64) {
-	logits, value := net.Apply(tr.obs)
-	lp := nn.LogSoftmax(logits)
-	probs := nn.Softmax(logits)
-	logpNew := lp[tr.action]
-	ratio := math.Exp(logpNew - tr.logp)
-
-	// Clipped surrogate: L = -min(r·A, clip(r, 1±ε)·A).
-	var dLdLogp float64
-	unclipped := ratio * tr.adv
-	clipped := clip(ratio, 1-t.cfg.ClipEps, 1+t.cfg.ClipEps) * tr.adv
-	if t.cfg.DisableClip {
-		pl = -unclipped
-		dLdLogp = -ratio * tr.adv
-	} else if unclipped <= clipped {
-		pl = -unclipped
-		dLdLogp = -ratio * tr.adv // d(r)/d(logpNew) = r
-	} else {
-		pl = -clipped
-		dLdLogp = 0 // clip active: no gradient through the policy term
+// workerShard runs one gradient worker's strided share of the minibatch
+// through the batched forward/backward path, accumulating gradients on
+// net and loss sums in ws.
+func (t *Trainer) workerShard(net nn.PolicyValueNet, ws *workerScratch, batch []transition, mb []int, w, nw int) {
+	m := (len(mb) - w + nw - 1) / nw // samples in this shard
+	obsDim := net.ObsDim()
+	acts := net.NumActions()
+	X := nn.EnsureMat(&ws.X, m, obsDim)
+	logits := nn.EnsureMat(&ws.logits, m, acts)
+	dLogits := nn.EnsureMat(&ws.dLogits, m, acts)
+	ws.values = ensureFloats(ws.values, m)
+	ws.dValues = ensureFloats(ws.dValues, m)
+	ws.lp = ensureFloats(ws.lp, acts)
+	ws.probs = ensureFloats(ws.probs, acts)
+	ws.pl, ws.vl = 0, 0
+	for row, k := 0, w; k < len(mb); row, k = row+1, k+nw {
+		copy(X.Row(row), batch[mb[k]].obs)
 	}
+	net.ApplyBatch(X, logits, ws.values)
+	batchSize := float64(len(mb))
+	for row, k := 0, w; k < len(mb); row, k = row+1, k+nw {
+		tr := batch[mb[k]]
+		lrow := logits.Row(row)
+		lp := nn.LogSoftmaxInto(ws.lp, lrow)
+		probs := nn.SoftmaxInto(ws.probs, lrow)
+		logpNew := lp[tr.action]
+		ratio := math.Exp(logpNew - tr.logp)
 
-	// Entropy bonus: L -= entCoef·H; dH/dlogit_k = -p_k(log p_k + H).
-	h := nn.Entropy(probs)
-
-	// Value loss: 0.5·(v - ret)².
-	vErr := value - tr.ret
-	vl = 0.5 * vErr * vErr
-
-	dLogits := make([]float64, len(logits))
-	for k := range dLogits {
-		// Policy term: dlogp_a/dlogit_k = 1{k==a} - p_k.
-		ind := 0.0
-		if k == tr.action {
-			ind = 1
+		// Clipped surrogate: L = -min(r·A, clip(r, 1±ε)·A).
+		var pl, dLdLogp float64
+		unclipped := ratio * tr.adv
+		clipped := clip(ratio, 1-t.cfg.ClipEps, 1+t.cfg.ClipEps) * tr.adv
+		if t.cfg.DisableClip {
+			pl = -unclipped
+			dLdLogp = -ratio * tr.adv
+		} else if unclipped <= clipped {
+			pl = -unclipped
+			dLdLogp = -ratio * tr.adv // d(r)/d(logpNew) = r
+		} else {
+			pl = -clipped
+			dLdLogp = 0 // clip active: no gradient through the policy term
 		}
-		dLogits[k] = dLdLogp * (ind - probs[k])
-		// Entropy term: subtract entCoef · dH/dlogit.
-		dLogits[k] += t.curEnt * probs[k] * (logOrZero(probs[k]) + h)
-		dLogits[k] /= batchSize
+
+		// Entropy bonus: L -= entCoef·H; dH/dlogit_k = -p_k(log p_k + H).
+		h := nn.Entropy(probs)
+
+		// Value loss: 0.5·(v - ret)².
+		vErr := ws.values[row] - tr.ret
+		ws.pl += pl
+		ws.vl += 0.5 * vErr * vErr
+
+		drow := dLogits.Row(row)
+		for k := range drow {
+			// Policy term: dlogp_a/dlogit_k = 1{k==a} - p_k.
+			ind := 0.0
+			if k == tr.action {
+				ind = 1
+			}
+			drow[k] = dLdLogp * (ind - probs[k])
+			// Entropy term: subtract entCoef · dH/dlogit.
+			drow[k] += t.curEnt * probs[k] * (logOrZero(probs[k]) + h)
+			drow[k] /= batchSize
+		}
+		ws.dValues[row] = t.cfg.VfCoef * vErr / batchSize
 	}
-	dValue := t.cfg.VfCoef * vErr / batchSize
-	net.Grad(tr.obs, dLogits, dValue)
-	return pl, vl
+	net.GradBatch(X, dLogits, ws.dValues)
 }
 
 func clip(x, lo, hi float64) float64 {
