@@ -147,8 +147,9 @@ func BenchmarkCampaignWorkersNumCPU(b *testing.B) {
 // The bodies live in internal/bench so `cmd/autocat-bench -json` measures
 // the exact same workloads CI smoke-tests here.
 
-func BenchmarkStepHot(b *testing.B)  { bench.StepHot(b) }
-func BenchmarkPPOEpoch(b *testing.B) { bench.PPOEpoch(b) }
+func BenchmarkStepHot(b *testing.B)      { bench.StepHot(b) }
+func BenchmarkRolloutSteps(b *testing.B) { bench.RolloutSteps(b) }
+func BenchmarkPPOEpoch(b *testing.B)     { bench.PPOEpoch(b) }
 
 // Micro-benchmarks of the substrates.
 

@@ -2,11 +2,14 @@ package main
 
 // The -json mode: measure the training hot path with testing.Benchmark
 // and emit BENCH_hotpath.json — steps/sec and allocs/step for the
-// env+cache step loop, steps/sec for a full PPO epoch, per-sample cost of
-// the batched nn forward, and campaign jobs/sec — alongside the committed
-// pre-refactor baseline so the speedup trajectory is tracked in-repo. The
-// benchmark bodies live in internal/bench, shared with the repo-root
-// `go test -bench` suite that CI smoke-tests.
+// env+cache step loop, steps/sec for the vectorized lockstep rollout
+// and for a full PPO epoch, per-sample cost of the batched nn forward
+// and backward, and campaign jobs/sec — alongside the committed
+// pre-refactor baseline so the speedup trajectory is tracked in-repo.
+// The -compare mode re-measures the same metrics and gates on
+// regressions against a previously written report. The benchmark bodies
+// live in internal/bench, shared with the repo-root `go test -bench`
+// suite that CI smoke-tests.
 
 import (
 	"encoding/json"
@@ -21,6 +24,10 @@ const hotpathFile = "BENCH_hotpath.json"
 
 // hotpathBaseline is the pre-batching measurement (PR 1 state) the
 // current numbers are compared against; see BENCH_hotpath.json history.
+// Metrics introduced later are zero and skipped in speedup reporting.
+// (ApplyNsPerSample is not comparable across PR 3: the batch benchmark
+// previously ran on all-zero observations, which the zero-skipping
+// kernels fast-path past; it now runs on real rollout observations.)
 var hotpathBaseline = hotpathStats{
 	Description:      "pre-refactor per-sample hot path (PR 1 state)",
 	StepNsPerOp:      508.8,
@@ -36,9 +43,11 @@ type hotpathStats struct {
 	StepNsPerOp      float64 `json:"step_ns_per_op"`
 	StepAllocsPerOp  float64 `json:"step_allocs_per_op"`
 	StepsPerSec      float64 `json:"steps_per_sec"`
+	RolloutStepsSec  float64 `json:"rollout_steps_per_sec,omitempty"`
 	PPOEpochStepsSec float64 `json:"ppo_epoch_steps_per_sec"`
 	CampaignJobsSec  float64 `json:"campaign_jobs_per_sec_4workers"`
 	ApplyNsPerSample float64 `json:"apply_batch_ns_per_sample"`
+	GradNsPerSample  float64 `json:"grad_batch_ns_per_sample,omitempty"`
 }
 
 type hotpathReport struct {
@@ -47,28 +56,40 @@ type hotpathReport struct {
 	Speedup  map[string]float64 `json:"speedup"`
 }
 
-// runHotpath measures the four hot-path benchmarks and writes the JSON
-// report to path.
-func runHotpath(path string) error {
+// measureHotpath runs every hot-path benchmark once and collects the
+// metrics.
+func measureHotpath() hotpathStats {
 	fmt.Println("measuring env.StepInto + cache.Access loop ...")
 	step := testing.Benchmark(bench.StepHot)
+	fmt.Println("measuring vectorized lockstep rollout ...")
+	roll := testing.Benchmark(bench.RolloutSteps)
 	fmt.Println("measuring full PPO epochs ...")
 	ppo := testing.Benchmark(bench.PPOEpoch)
 	fmt.Println("measuring batched MLP forward ...")
 	apply := testing.Benchmark(bench.MLPApplyBatch)
+	fmt.Println("measuring batched MLP backward ...")
+	grad := testing.Benchmark(bench.MLPGradBatch)
 	fmt.Println("measuring campaign throughput (4 workers) ...")
 	camp := testing.Benchmark(func(b *testing.B) { bench.CampaignJobs(b, 4) })
 
 	stepNs := float64(step.NsPerOp())
-	cur := hotpathStats{
-		Description:      "measured by cmd/autocat-bench -json",
+	return hotpathStats{
+		Description:      "measured by cmd/autocat-bench",
 		StepNsPerOp:      stepNs,
 		StepAllocsPerOp:  float64(step.AllocsPerOp()),
 		StepsPerSec:      1e9 / stepNs,
+		RolloutStepsSec:  roll.Extra["steps/s"],
 		PPOEpochStepsSec: ppo.Extra["steps/s"],
 		CampaignJobsSec:  camp.Extra["jobs/s"],
 		ApplyNsPerSample: float64(apply.NsPerOp()) / bench.ApplyBatchRows,
+		GradNsPerSample:  float64(grad.NsPerOp()) / bench.ApplyBatchRows,
 	}
+}
+
+// runHotpath measures the hot-path benchmarks and writes the JSON
+// report to path.
+func runHotpath(path string) error {
+	cur := measureHotpath()
 	report := hotpathReport{
 		Baseline: hotpathBaseline,
 		Current:  cur,
@@ -85,14 +106,87 @@ func runHotpath(path string) error {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("step hot path: %.1f ns/op, %d allocs/op (%.2fM steps/s, %.2fx baseline)\n",
-		stepNs, step.AllocsPerOp(), cur.StepsPerSec/1e6, cur.StepsPerSec/hotpathBaseline.StepsPerSec)
+	fmt.Printf("step hot path: %.1f ns/op, %.0f allocs/op (%.2fM steps/s, %.2fx baseline)\n",
+		cur.StepNsPerOp, cur.StepAllocsPerOp, cur.StepsPerSec/1e6, cur.StepsPerSec/hotpathBaseline.StepsPerSec)
+	fmt.Printf("rollout:       %.0f steps/s\n", cur.RolloutStepsSec)
 	fmt.Printf("ppo epoch:     %.0f steps/s (%.2fx baseline)\n",
 		cur.PPOEpochStepsSec, cur.PPOEpochStepsSec/hotpathBaseline.PPOEpochStepsSec)
 	fmt.Printf("apply batch:   %.0f ns/sample\n", cur.ApplyNsPerSample)
+	fmt.Printf("grad batch:    %.0f ns/sample\n", cur.GradNsPerSample)
 	fmt.Printf("campaign:      %.2f jobs/s (%.2fx baseline)\n",
 		cur.CampaignJobsSec, cur.CampaignJobsSec/hotpathBaseline.CampaignJobsSec)
 	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// hotpathMetric describes one gated metric for -compare.
+type hotpathMetric struct {
+	name         string
+	get          func(*hotpathStats) float64
+	higherBetter bool
+}
+
+var hotpathMetrics = []hotpathMetric{
+	{"steps_per_sec", func(s *hotpathStats) float64 { return s.StepsPerSec }, true},
+	{"rollout_steps_per_sec", func(s *hotpathStats) float64 { return s.RolloutStepsSec }, true},
+	{"ppo_epoch_steps_per_sec", func(s *hotpathStats) float64 { return s.PPOEpochStepsSec }, true},
+	{"campaign_jobs_per_sec_4workers", func(s *hotpathStats) float64 { return s.CampaignJobsSec }, true},
+	{"apply_batch_ns_per_sample", func(s *hotpathStats) float64 { return s.ApplyNsPerSample }, false},
+	{"grad_batch_ns_per_sample", func(s *hotpathStats) float64 { return s.GradNsPerSample }, false},
+}
+
+// runCompare re-measures the hot path and compares against the
+// "current" block of a previously written report, printing per-metric
+// deltas. It returns an error (non-zero exit) when any throughput
+// metric degrades by more than tolerance (fraction, e.g. 0.15), any
+// ns-metric inflates by more than tolerance, or the step loop's
+// allocs/op grows at all (allocation regressions are machine-independent
+// and gated strictly).
+func runCompare(path string, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	var ref hotpathReport
+	if err := json.Unmarshal(data, &ref); err != nil {
+		return fmt.Errorf("compare: %s: %w", path, err)
+	}
+	cur := measureHotpath()
+	fmt.Printf("\ncomparing against %s (tolerance %.0f%%):\n", path, tolerance*100)
+	var failures []string
+	for _, m := range hotpathMetrics {
+		was, now := m.get(&ref.Current), m.get(&cur)
+		if was == 0 {
+			fmt.Printf("  %-32s %12.4g  (no reference)\n", m.name, now)
+			continue
+		}
+		delta := (now - was) / was
+		// Gate on the worsening ratio, not the fractional delta: a
+		// fractional drop saturates at -100%, so large tolerances (CI's
+		// cross-machine 3.0) would never fire on throughput metrics.
+		worse := was / now // throughput: >1 means slower
+		if !m.higherBetter {
+			worse = now / was // latency: >1 means slower
+		}
+		status := "ok"
+		if worse > 1+tolerance {
+			status = "REGRESSION"
+			failures = append(failures, m.name)
+		}
+		fmt.Printf("  %-32s %12.4g -> %12.4g  (%+.1f%%)  %s\n", m.name, was, now, delta*100, status)
+	}
+	if cur.StepAllocsPerOp > ref.Current.StepAllocsPerOp {
+		fmt.Printf("  %-32s %12g -> %12g  REGRESSION (strict)\n",
+			"step_allocs_per_op", ref.Current.StepAllocsPerOp, cur.StepAllocsPerOp)
+		failures = append(failures, "step_allocs_per_op")
+	} else {
+		fmt.Printf("  %-32s %12g -> %12g  ok (strict)\n",
+			"step_allocs_per_op", ref.Current.StepAllocsPerOp, cur.StepAllocsPerOp)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("hot-path regression in: %v", failures)
+	}
+	fmt.Println("no regressions")
 	return nil
 }
 

@@ -9,12 +9,18 @@
 //	autocat-bench -all -scale 0.5           reduced training budgets
 //	autocat-bench -json                     measure the hot path and write
 //	                                        BENCH_hotpath.json
+//	autocat-bench -compare BENCH_hotpath.json
+//	                                        re-measure and exit non-zero on
+//	                                        regression beyond -tolerance
+//	autocat-bench -json -cpuprofile cpu.pb  profile any mode with pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"autocat/internal/exp"
 )
@@ -28,15 +34,62 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	jsonOut := flag.Bool("json", false, "measure the hot path (steps/sec, allocs/step, jobs/sec) and write "+hotpathFile)
 	jsonPath := flag.String("json-out", hotpathFile, "output path for -json")
+	compare := flag.String("compare", "", "re-measure the hot path and compare against the given BENCH_hotpath.json; exits non-zero on regression")
+	tolerance := flag.Float64("tolerance", 0.15, "fractional regression tolerated by -compare (allocs/op are gated strictly)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
-	if *jsonOut {
-		if err := runHotpath(*jsonPath); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// finish flushes the profiles; it must run before any os.Exit, so the
+	// error paths call it explicitly instead of relying on defers.
+	finish := func() {
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+	}
+
+	if *compare != "" {
+		err := runCompare(*compare, *tolerance)
+		finish()
+		if err != nil {
+			fail(err)
 		}
 		return
 	}
+	if *jsonOut {
+		err := runHotpath(*jsonPath)
+		finish()
+		if err != nil {
+			fail(err)
+		}
+		return
+	}
+	defer finish()
 
 	o := exp.Options{W: os.Stdout, Scale: *scale, Runs: *runs, Seed: *seed}
 	run := func(name string, f func(exp.Options)) {

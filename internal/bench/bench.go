@@ -6,6 +6,7 @@ package bench
 
 import (
 	"context"
+	"math/rand"
 	"testing"
 
 	"autocat/internal/cache"
@@ -95,10 +96,23 @@ func PPOEpoch(b *testing.B) {
 // ApplyBatchRows is the minibatch size of the batched nn benchmarks.
 const ApplyBatchRows = 128
 
-func batchNet() (*nn.MLPPolicy, *nn.Mat, *nn.Mat, []float64) {
-	net := nn.NewMLP(nn.MLPConfig{ObsDim: 272, Actions: 11, Seed: 1})
-	X := nn.NewMat(ApplyBatchRows, 272)
-	out := nn.NewMat(ApplyBatchRows, 11)
+// batchNet builds the hot-env MLP plus a batch of real observations
+// gathered from a random-action rollout — the sparsity pattern the
+// kernels actually see. (An all-zero batch, as the earlier bench used,
+// lets the zero-skipping kernels skip all the work and measures only
+// branch throughput.)
+func batchNet(b *testing.B) (*nn.MLPPolicy, *nn.Mat, *nn.Mat, []float64) {
+	e := mustEnv(b, HotEnvConfig())
+	net := nn.NewMLP(nn.MLPConfig{ObsDim: e.ObsDim(), Actions: e.NumActions(), Seed: 1})
+	X := nn.NewMat(ApplyBatchRows, e.ObsDim())
+	rng := rand.New(rand.NewSource(7))
+	e.ResetInto(X.Row(0))
+	for i := 1; i < ApplyBatchRows; i++ {
+		if _, done := e.StepInto(rng.Intn(e.NumActions()), X.Row(i)); done {
+			e.ResetInto(X.Row(i))
+		}
+	}
+	out := nn.NewMat(ApplyBatchRows, e.NumActions())
 	values := make([]float64, ApplyBatchRows)
 	return net, X, out, values
 }
@@ -106,7 +120,7 @@ func batchNet() (*nn.MLPPolicy, *nn.Mat, *nn.Mat, []float64) {
 // MLPApplyBatch runs a minibatch through the batched forward path
 // (compare against ApplyBatchRows× the per-sample Apply benchmark).
 func MLPApplyBatch(b *testing.B) {
-	net, X, logits, values := batchNet()
+	net, X, logits, values := batchNet(b)
 	net.ApplyBatch(X, logits, values)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -117,7 +131,7 @@ func MLPApplyBatch(b *testing.B) {
 
 // MLPGradBatch runs a minibatch through the batched backward path.
 func MLPGradBatch(b *testing.B) {
-	net, X, dL, dV := batchNet()
+	net, X, dL, dV := batchNet(b)
 	for i := range dL.Data {
 		dL.Data[i] = 0.01
 	}
@@ -129,13 +143,45 @@ func MLPGradBatch(b *testing.B) {
 	}
 }
 
+// RolloutSteps drives the vectorized lockstep collector alone — all
+// environments stepped per timestep through one batched forward, no PPO
+// update — and reports environment steps per second. Steady state must
+// be 0 allocs/op.
+func RolloutSteps(b *testing.B) {
+	var envs []*env.Env
+	for i := 0; i < 4; i++ {
+		cfg := HotEnvConfig()
+		cfg.Seed = int64(i) * 7919
+		envs = append(envs, mustEnv(b, cfg))
+	}
+	net := nn.NewMLP(nn.MLPConfig{
+		ObsDim: envs[0].ObsDim(), Actions: envs[0].NumActions(), Seed: 1,
+	})
+	tr, err := rl.NewTrainer(net, envs, rl.PPOConfig{
+		StepsPerEpoch: PPOEpochSteps, Workers: 4, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.CollectSteps()
+	b.ReportAllocs()
+	b.ResetTimer()
+	steps := 0
+	for i := 0; i < b.N; i++ {
+		steps += tr.CollectSteps()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+}
+
 // CampaignJobCount is the number of jobs per campaign-benchmark iteration.
 const CampaignJobCount = 8
 
 // CampaignJobs runs the tiny 8-job one-bit-channel grid on a pool of the
-// given size and reports throughput as the "jobs/s" metric. Per-trainer
-// parallelism divides by the pool size, so the comparison isolates
-// orchestration overhead and scheduling.
+// given size and reports throughput as the "jobs/s" metric. Running
+// jobs hold process-wide compute tokens (shared with the nn kernel
+// workers), so the pool-size comparison isolates orchestration overhead
+// and scheduling without oversubscription effects.
 func CampaignJobs(b *testing.B, workers int) {
 	spec := campaign.Spec{
 		Name:           "bench",

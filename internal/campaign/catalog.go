@@ -1,10 +1,9 @@
 package campaign
 
 import (
-	"fmt"
 	"hash/maphash"
 	"sort"
-	"strings"
+	"strconv"
 	"sync"
 
 	"autocat/internal/cache"
@@ -79,29 +78,64 @@ func (c *Catalog) shard(key string) *catalogShard {
 // Record inserts one attack observation and reports whether it was
 // novel (first time the canonical key was seen).
 func (c *Catalog) Record(key, sequence, category, job string, accuracy float64) (novel bool) {
-	s := c.shard(key)
+	return c.shard(key).record(key, sequence, category, job, accuracy)
+}
+
+// RecordBytes is Record for a key still in its builder buffer (see
+// Canonicalizer.AppendKey): the shard comes from one uint64 maphash of
+// the bytes, the stripe map is probed without converting the key, and a
+// string is materialized only on a novel attack — rediscoveries
+// allocate nothing. It is the path for high-rate in-process dedup that
+// never needs the key as a string; the campaign scheduler itself
+// records through Record, since its JSONL checkpoint carries the
+// canonical key as a string regardless. Both paths share recordHit /
+// recordMiss, so they cannot drift.
+func (c *Catalog) RecordBytes(key []byte, sequence, category, job string, accuracy float64) (novel bool) {
+	s := &c.shards[maphash.Bytes(c.seed, key)&(catalogShards-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[string(key)]; ok { // no-alloc map probe
+		s.recordHit(e, job, accuracy)
+		return false
+	}
+	s.recordMiss(string(key), sequence, category, job, accuracy)
+	return true
+}
+
+func (s *catalogShard) record(key, sequence, category, job string, accuracy float64) (novel bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.entries[key]
 	if !ok {
-		s.misses++
-		s.entries[key] = &Entry{
-			Key:          key,
-			Sequence:     sequence,
-			Category:     category,
-			Count:        1,
-			Jobs:         []string{job},
-			BestAccuracy: accuracy,
-		}
+		s.recordMiss(key, sequence, category, job, accuracy)
 		return true
 	}
+	s.recordHit(e, job, accuracy)
+	return false
+}
+
+// recordMiss inserts a novel attack; the shard mutex must be held.
+func (s *catalogShard) recordMiss(key, sequence, category, job string, accuracy float64) {
+	s.misses++
+	s.entries[key] = &Entry{
+		Key:          key,
+		Sequence:     sequence,
+		Category:     category,
+		Count:        1,
+		Jobs:         []string{job},
+		BestAccuracy: accuracy,
+	}
+}
+
+// recordHit folds a rediscovery into its entry; the shard mutex must be
+// held.
+func (s *catalogShard) recordHit(e *Entry, job string, accuracy float64) {
 	s.hits++
 	e.Count++
 	e.Jobs = append(e.Jobs, job)
 	if accuracy > e.BestAccuracy {
 		e.BestAccuracy = accuracy
 	}
-	return false
 }
 
 // Len returns the number of distinct attacks.
@@ -156,6 +190,79 @@ func (c *Catalog) Stats() (total ShardStats, perShard []ShardStats) {
 	return total, perShard
 }
 
+// Canonicalizer holds the reusable scratch for rendering canonical
+// attack keys: an address-indexed relabelling table (reset by touched
+// list, not reallocation) and a byte buffer the key is appended into.
+// One Canonicalizer serves one goroutine at a time; campaign runners
+// draw them from a pool so the per-job canonicalization path allocates
+// nothing beyond the final key string for novel attacks.
+type Canonicalizer struct {
+	rename  []int32 // addr → label+1; 0 marks unseen
+	touched []cache.Addr
+	buf     []byte
+}
+
+// AppendKey appends the canonical form of the attack to dst and returns
+// the extended slice; the format matches Canonicalize exactly.
+func (cz *Canonicalizer) AppendKey(dst []byte, e *env.Env, actions []int) []byte {
+	cfg := e.Config()
+	next := int32(0)
+	label := func(a cache.Addr) {
+		if int(a) >= len(cz.rename) {
+			grown := make([]int32, int(a)+16)
+			copy(grown, cz.rename)
+			cz.rename = grown
+		}
+		n := cz.rename[a]
+		if n == 0 {
+			next++
+			n = next
+			cz.rename[a] = n
+			cz.touched = append(cz.touched, a)
+		}
+		dst = strconv.AppendInt(dst, int64(n-1), 10)
+		if a >= cfg.VictimLo && a <= cfg.VictimHi {
+			dst = append(dst, 's')
+		}
+	}
+	for i, act := range actions {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		kind, addr := e.DecodeAction(act)
+		switch kind {
+		case env.KindAccess:
+			dst = append(dst, 'A')
+			label(addr)
+		case env.KindFlush:
+			dst = append(dst, 'F')
+			label(addr)
+		case env.KindVictim:
+			dst = append(dst, 'V')
+		case env.KindGuess:
+			dst = append(dst, 'G')
+			dst = strconv.AppendInt(dst, int64(addr-cfg.VictimLo), 10)
+		case env.KindGuessNone:
+			dst = append(dst, 'G', 'E')
+		}
+	}
+	for _, a := range cz.touched {
+		cz.rename[a] = 0
+	}
+	cz.touched = cz.touched[:0]
+	return dst
+}
+
+// Key renders the canonical form into the canonicalizer's reused buffer
+// and returns it as a string (one allocation, for the string itself).
+func (cz *Canonicalizer) Key(e *env.Env, actions []int) string {
+	cz.buf = cz.AppendKey(cz.buf[:0], e, actions)
+	return string(cz.buf)
+}
+
+// canonicalizers pools per-worker scratch for the campaign runners.
+var canonicalizers = sync.Pool{New: func() any { return new(Canonicalizer) }}
+
 // Canonicalize renders an attack sequence in a configuration-independent
 // normal form so equivalent attacks found under different address
 // layouts deduplicate: attacker addresses are relabelled in order of
@@ -169,37 +276,8 @@ func (c *Catalog) Stats() (total ShardStats, perShard []ShardStats) {
 // found at "0→1→2→v→0→2→1→g4" both canonicalize to
 // "A0 A1 A2 V A0 A2 A1 G0".
 func Canonicalize(e *env.Env, actions []int) string {
-	cfg := e.Config()
-	rename := map[cache.Addr]int{}
-	label := func(a cache.Addr) string {
-		n, ok := rename[a]
-		if !ok {
-			n = len(rename)
-			rename[a] = n
-		}
-		if a >= cfg.VictimLo && a <= cfg.VictimHi {
-			return fmt.Sprintf("%ds", n)
-		}
-		return fmt.Sprintf("%d", n)
-	}
-	var b strings.Builder
-	for i, act := range actions {
-		if i > 0 {
-			b.WriteByte(' ')
-		}
-		kind, addr := e.DecodeAction(act)
-		switch kind {
-		case env.KindAccess:
-			b.WriteString("A" + label(addr))
-		case env.KindFlush:
-			b.WriteString("F" + label(addr))
-		case env.KindVictim:
-			b.WriteByte('V')
-		case env.KindGuess:
-			fmt.Fprintf(&b, "G%d", int(addr-cfg.VictimLo))
-		case env.KindGuessNone:
-			b.WriteString("GE")
-		}
-	}
-	return b.String()
+	cz := canonicalizers.Get().(*Canonicalizer)
+	key := cz.Key(e, actions)
+	canonicalizers.Put(cz)
+	return key
 }

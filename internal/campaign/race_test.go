@@ -1,0 +1,114 @@
+package campaign
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"autocat/internal/cache"
+	"autocat/internal/env"
+	"autocat/internal/nn"
+)
+
+// TestCampaignParallelKernelsRace drives the full stack concurrently —
+// campaign workers holding compute tokens, each job's trainer running
+// the vectorized lockstep collector and sharded updates, with the
+// kernel worker pool enabled — so `go test -race` sweeps the whole
+// scheduling surface. The token pool is widened past the machine so
+// shard goroutines and parallel kernel chunks actually spawn.
+func TestCampaignParallelKernelsRace(t *testing.T) {
+	defer nn.SetKernelWorkers(runtime.GOMAXPROCS(0))
+	nn.SetKernelWorkers(runtime.NumCPU() + 3)
+	spec := Spec{
+		Name:           "race",
+		Caches:         []cache.Config{{NumBlocks: 1, NumWays: 1}},
+		Attackers:      []AddrRange{{Lo: 1, Hi: 1}},
+		Victims:        []AddrRange{{Lo: 0, Hi: 0}},
+		Seeds:          []int64{1, 2, 3, 4},
+		VictimNoAccess: true,
+		WindowSize:     6,
+		Warmup:         -1,
+		Epochs:         2,
+		StepsPerEpoch:  128,
+		Envs:           2,
+	}
+	res, err := Run(context.Background(), spec, RunConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 4 {
+		t.Fatalf("completed %d of 4 jobs", res.Completed)
+	}
+	if res.Failed > 0 {
+		t.Fatalf("%d jobs failed", res.Failed)
+	}
+}
+
+// TestCanonicalizerMatchesCanonicalize cross-checks the scratch-reusing
+// byte builder across repeated calls (the rename table must fully reset
+// between them) against fresh renderings.
+func TestCanonicalizerMatchesCanonicalize(t *testing.T) {
+	e, err := env.New(env.Config{
+		Cache:      cache.Config{NumBlocks: 8, NumWays: 1},
+		AttackerLo: 4, AttackerHi: 6,
+		VictimLo: 0, VictimHi: 1,
+		FlushEnable:    true,
+		VictimNoAccess: true,
+		WindowSize:     20,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cz Canonicalizer
+	seqA := []int{e.AccessAction(6), e.VictimAction(), e.AccessAction(4), e.GuessAction(0)}
+	seqB := []int{e.AccessAction(4), e.FlushAction(5), e.VictimAction(), e.GuessNoneAction()}
+	for i := 0; i < 3; i++ { // reuse across calls
+		for _, seq := range [][]int{seqA, seqB} {
+			want := Canonicalize(e, seq)
+			if got := cz.Key(e, seq); got != want {
+				t.Fatalf("Canonicalizer.Key = %q, want %q", got, want)
+			}
+			if got := string(cz.AppendKey(nil, e, seq)); got != want {
+				t.Fatalf("AppendKey = %q, want %q", got, want)
+			}
+		}
+	}
+	if got, want := cz.Key(e, seqA), "A0 V A1 G0"; got != want {
+		t.Fatalf("canonical form = %q, want %q", got, want)
+	}
+}
+
+// TestRecordBytesMatchesRecord checks the bytes-keyed insert path
+// against the string path: same dedup decisions, same entries, and an
+// allocation-free rediscovery hot path.
+func TestRecordBytesMatchesRecord(t *testing.T) {
+	c := NewCatalog()
+	if !c.RecordBytes([]byte("A0 V G0"), "0→v→g0", "cat", "job1", 0.9) {
+		t.Fatal("first RecordBytes not novel")
+	}
+	if c.Record("A0 V G0", "0→v→g0", "cat", "job2", 0.95) {
+		t.Fatal("string Record of same key reported novel")
+	}
+	if c.RecordBytes([]byte("A0 V G0"), "0→v→g0", "cat", "job3", 0.5) {
+		t.Fatal("RecordBytes rediscovery reported novel")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	es := c.Entries()
+	if es[0].Count != 3 || es[0].BestAccuracy != 0.95 {
+		t.Fatalf("entry = %+v", es[0])
+	}
+
+	key := []byte("A0 A1 V G0")
+	c.RecordBytes(key, "s", "c", "j", 1)
+	allocs := testing.AllocsPerRun(100, func() {
+		c.RecordBytes(key, "s", "c", "j", 1)
+	})
+	// Each rediscovery appends the job name to the entry's Jobs slice;
+	// amortized growth is the only allowed allocation source.
+	if allocs > 1 {
+		t.Fatalf("RecordBytes rediscovery allocates %.1f per call", allocs)
+	}
+}

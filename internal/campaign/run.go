@@ -10,6 +10,7 @@ import (
 
 	"autocat/internal/core"
 	"autocat/internal/detect"
+	"autocat/internal/nn"
 	"autocat/internal/rl"
 )
 
@@ -117,7 +118,7 @@ func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
 		rc.Scale = 1
 	}
 	if rc.Runner == nil {
-		rc.Runner = ExplorerRunner(rc.Scale, rc.Workers)
+		rc.Runner = ExplorerRunner(rc.Scale)
 	}
 
 	res := &Result{
@@ -206,8 +207,16 @@ func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
 				if ctx.Err() != nil {
 					continue
 				}
+				// One process-wide compute token per running job: the
+				// pool size caps queued work, the token pool caps
+				// actual CPU concurrency. Nested parallelism (trainer
+				// shards, nn kernels) only try-acquires extra tokens,
+				// so a saturated pool runs every job's compute inline
+				// — no oversubscription however the two sizes relate.
+				nn.AcquireComputeToken()
 				t0 := time.Now()
 				jr := rc.Runner(ctx, job)
+				nn.ReleaseComputeToken()
 				// Once cancelled, an error result is presumed an abort
 				// artifact (runners may wrap the context error): drop
 				// it so resume retries the job. Successful results
@@ -264,21 +273,24 @@ dispatch:
 	return res, ctx.Err()
 }
 
+// explorerTrainWorkers is the gradient shard count ExplorerRunner pins
+// for scenarios that do not set one. The shard count is part of the
+// gradient reduction grouping — it changes the floating-point result —
+// so it must not depend on the machine; a fixed value makes campaign
+// trajectories reproducible across hosts. Execution parallelism is
+// governed separately by the process-wide compute-token pool.
+const explorerTrainWorkers = 4
+
 // ExplorerRunner returns the production runner: each job builds a
 // core.Explorer from its scenario, trains to convergence or budget,
-// extracts the attack by deterministic replay, and classifies it. The
-// per-trainer gradient/actor parallelism is divided by the pool size so
-// a saturated pool does not oversubscribe the machine.
-func ExplorerRunner(scale float64, poolWorkers int) Runner {
+// extracts the attack by deterministic replay, and classifies it.
+// Machine scheduling is delegated to the compute-token pool shared with
+// the nn kernels (each campaign worker holds a token while its job
+// runs), replacing the old NumCPU/poolWorkers split that both
+// oversubscribed small machines and made job math machine-dependent.
+func ExplorerRunner(scale float64) Runner {
 	if scale <= 0 {
 		scale = 1
-	}
-	trainWorkers := runtime.NumCPU() / max(1, poolWorkers)
-	if trainWorkers < 1 {
-		trainWorkers = 1
-	}
-	if trainWorkers > 8 {
-		trainWorkers = 8 // the rl package's own per-trainer cap
 	}
 	return func(ctx context.Context, job Job) JobResult {
 		if err := ctx.Err(); err != nil {
@@ -289,7 +301,7 @@ func ExplorerRunner(scale float64, poolWorkers int) Runner {
 
 		ppo := sc.ppoConfig(scale)
 		if ppo.Workers == 0 {
-			ppo.Workers = trainWorkers
+			ppo.Workers = explorerTrainWorkers
 		}
 		cfg := core.Config{Env: sc.Env, Envs: sc.Envs, PPO: ppo}
 		switch sc.Detector {

@@ -1,0 +1,43 @@
+package env
+
+// ActiveSet is a compact index list for lockstep iteration over a fleet
+// of environments: the RL collector steps every live environment once
+// per timestep, batching their observations through one network
+// forward, and environments whose step budget is met drop out of the
+// batch. Indices stay in ascending order (so batch row k always maps to
+// the k-th live environment) and all storage is reused across resets —
+// no allocations in steady state.
+type ActiveSet struct {
+	idx []int
+}
+
+// Reset fills the set with indices 0..n-1.
+func (s *ActiveSet) Reset(n int) {
+	if cap(s.idx) < n {
+		s.idx = make([]int, n)
+	}
+	s.idx = s.idx[:n]
+	for i := range s.idx {
+		s.idx[i] = i
+	}
+}
+
+// Len returns the number of live indices.
+func (s *ActiveSet) Len() int { return len(s.idx) }
+
+// Indices returns the live indices in ascending order. The slice is
+// owned by the set and valid until the next Compact or Reset.
+func (s *ActiveSet) Indices() []int { return s.idx }
+
+// Compact removes every index for which keep reports false, preserving
+// the order of the survivors. It runs in O(len) with no allocations.
+func (s *ActiveSet) Compact(keep func(i int) bool) {
+	w := 0
+	for _, i := range s.idx {
+		if keep(i) {
+			s.idx[w] = i
+			w++
+		}
+	}
+	s.idx = s.idx[:w]
+}

@@ -1,0 +1,44 @@
+package env
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestActiveSet(t *testing.T) {
+	var s ActiveSet
+	s.Reset(5)
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+	if got := fmt.Sprint(s.Indices()); got != "[0 1 2 3 4]" {
+		t.Fatalf("Indices = %s", got)
+	}
+	// Drop the even indices; survivors keep ascending order.
+	s.Compact(func(i int) bool { return i%2 == 1 })
+	if got := fmt.Sprint(s.Indices()); got != "[1 3]" {
+		t.Fatalf("after compact: %s", got)
+	}
+	s.Compact(func(i int) bool { return false })
+	if s.Len() != 0 {
+		t.Fatalf("Len after full compact = %d", s.Len())
+	}
+	// Reset reuses storage and restores the full range.
+	s.Reset(3)
+	if got := fmt.Sprint(s.Indices()); got != "[0 1 2]" {
+		t.Fatalf("after reset: %s", got)
+	}
+}
+
+func TestActiveSetNoAllocSteadyState(t *testing.T) {
+	var s ActiveSet
+	s.Reset(8)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Reset(8)
+		s.Compact(func(i int) bool { return i < 4 })
+		s.Compact(func(i int) bool { return false })
+	})
+	if allocs != 0 {
+		t.Fatalf("ActiveSet allocates %.1f per cycle in steady state, want 0", allocs)
+	}
+}

@@ -28,20 +28,35 @@ func NewAdam(params []*Param, lr float64) *Adam {
 }
 
 // Step applies one Adam update from the accumulated gradients and then
-// leaves the gradients untouched (callers usually ZeroGrads next).
+// leaves the gradients untouched (callers usually ZeroGrads next). On
+// amd64 the element-wise loop runs a vector kernel; every operation is
+// correctly-rounded IEEE in the scalar order, so results are
+// bit-identical across paths.
 func (a *Adam) Step() {
 	a.t++
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
 	for i, p := range a.params {
-		m, v := a.m[i], a.v[i]
-		for j := range p.Val {
-			g := p.Grad[j]
-			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
-			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
-			mh := m[j] / bc1
-			vh := v[j] / bc2
-			p.Val[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		adamUpdate(p.Val, p.Grad, a.m[i], a.v[i], a.Beta1, a.Beta2, bc1, bc2, a.LR, a.Eps)
+	}
+}
+
+// adamUpdate applies the update to one parameter tensor.
+func adamUpdate(val, grad, m, v []float64, b1, b2, bc1, bc2, lr, eps float64) {
+	j := 0
+	if useVecKernels {
+		if n := len(val) &^ 3; n > 0 {
+			k := [8]float64{b1, 1 - b1, b2, 1 - b2, bc1, bc2, lr, eps}
+			adamVec(val[:n], grad, m, v, &k)
+			j = n
 		}
+	}
+	for ; j < len(val); j++ {
+		g := grad[j]
+		m[j] = b1*m[j] + (1-b1)*g
+		v[j] = b2*v[j] + (1-b2)*g*g
+		mh := m[j] / bc1
+		vh := v[j] / bc2
+		val[j] -= lr * mh / (math.Sqrt(vh) + eps)
 	}
 }

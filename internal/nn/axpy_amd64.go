@@ -1,0 +1,25 @@
+//go:build amd64
+
+package nn
+
+// useVecKernels selects the AVX axpy micro-kernels when the CPU and OS
+// support YMM state. It is a variable (not a constant) so tests can
+// force the pure-Go path and assert bit-identical results.
+var useVecKernels = cpuSupportsAVX()
+
+//go:noescape
+func axpy4Vec(y, w []float64, stride int, c *[4]float64)
+
+//go:noescape
+func axpy8Vec(y, w []float64, stride int, c *[8]float64)
+
+//go:noescape
+func axpy4VecG(y, w0, w1, w2, w3 []float64, c *[4]float64)
+
+//go:noescape
+func axpy1Vec(y, w []float64, c float64)
+
+//go:noescape
+func adamVec(val, grad, m, v []float64, k *[8]float64)
+
+func cpuSupportsAVX() bool

@@ -1,11 +1,16 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
 
-// Linear is a dense layer Y = X·W + b with W stored In×Out.
+// Linear is a dense layer Y = X·W + b with W stored In×Out. Batched
+// calls on tall dense batches additionally keep a transposed weight
+// copy (wt, Out×In) refreshed per call, so the dot-form kernels read
+// unit-stride rows of Wᵀ; layers marked MarkSparseInput stay on the
+// zero-skipping axpy kernels instead.
 type Linear struct {
 	In, Out int
 	W       *Mat
@@ -13,6 +18,10 @@ type Linear struct {
 	dW      *Mat
 	dB      []float64
 	name    string
+
+	wt       []float64 // lazily sized Out×In transpose scratch (exclusive use)
+	wtExt    bool      // wt aliases the master's copy, refreshed externally
+	sparseIn bool      // inputs are mostly zero: prefer the axpy kernels
 }
 
 // NewLinear builds a Xavier-initialized dense layer.
@@ -37,6 +46,35 @@ func (l *Linear) Params() []*Param {
 	}
 }
 
+// CloneShared returns a layer aliasing l's weights, bias, and transpose
+// scratch but owning fresh gradient accumulators. Gradient shard
+// workers use it so the master's Adam step is visible to every worker
+// without a per-minibatch weight copy; the worker must not run
+// concurrently with the optimizer, and the transpose scratch must be
+// refreshed through the master's SyncSharedScratch (clones never write
+// it — concurrent shard passes would race).
+func (l *Linear) CloneShared() *Linear {
+	l.ensureWt()
+	return &Linear{
+		In: l.In, Out: l.Out,
+		W: l.W, B: l.B,
+		dW:   NewMat(l.In, l.Out),
+		dB:   make([]float64, l.Out),
+		name: l.name, sparseIn: l.sparseIn,
+		wt: l.wt, wtExt: true,
+	}
+}
+
+// ensureWt sizes the transpose scratch without filling it. It never
+// reallocates once sized (shapes are fixed), so CloneShared aliases
+// stay valid.
+func (l *Linear) ensureWt() {
+	if cap(l.wt) < l.In*l.Out {
+		l.wt = make([]float64, l.In*l.Out)
+	}
+	l.wt = l.wt[:l.In*l.Out]
+}
+
 // Apply computes y = xW + b into a fresh slice without touching gradient
 // state; it is safe for concurrent use.
 func (l *Linear) Apply(x []float64) []float64 {
@@ -45,29 +83,68 @@ func (l *Linear) Apply(x []float64) []float64 {
 	return y
 }
 
+// MarkSparseInput pins the layer to the zero-skipping axpy batch
+// kernels: for mostly-zero inputs (one-hot observation rows) they beat
+// the dot-form kernels, whose per-output-block scans pay the zero check
+// once per block instead of once per input.
+func (l *Linear) MarkSparseInput() { l.sparseIn = true }
+
 // ApplyInto computes y = xW + b into the caller-owned y (bias is written
 // first, then the products accumulate — the same summation order as
 // Apply, so both produce identical bits).
 func (l *Linear) ApplyInto(x, y []float64) {
 	copy(y, l.B)
-	for i, xv := range x {
-		if xv == 0 {
-			continue
-		}
-		wrow := l.W.Row(i)
-		for j := range y {
-			y[j] += xv * wrow[j]
-		}
+	axpyBlocked(y, x, l.W.Data, l.Out)
+}
+
+// syncWt refreshes the transposed weight copy. Called at the top of a
+// batched kernel (exclusive-use contract), so it can never go stale.
+// Layers whose scratch is externally refreshed (CloneShared aliases)
+// never write it themselves.
+func (l *Linear) syncWt() {
+	if l.wtExt {
+		return
 	}
+	l.ensureWt()
+	transposeInto(l.wt, l.W)
+}
+
+// dotForm reports whether a batch of r rows should run the transposed
+// dot-form kernels: without vector kernels, tall dense batches amortize
+// the per-call transpose; with them the (vectorized) axpy form wins
+// everywhere. Sparse-input layers always stay on axpy.
+func (l *Linear) dotForm(r int) bool {
+	return !useVecKernels && r >= dotFormMinRows && !l.sparseIn
 }
 
 // ApplyBatchInto computes Y = XW + b row by row in Apply's bias-first
 // summation order. This is the inference-path batch kernel; Forward uses
 // the products-first order instead (the two differ in the last float bit,
 // and each batched path must mirror its per-sample counterpart exactly).
+// Rows partition across the kernel worker pool.
 func (l *Linear) ApplyBatchInto(X, Y *Mat) {
-	for i := 0; i < X.R; i++ {
-		l.ApplyInto(X.Row(i), Y.Row(i))
+	if X.C != l.In {
+		panic(fmt.Sprintf("nn: %s batch input width %d, want %d", l.name, X.C, l.In))
+	}
+	if Y.R != X.R || Y.C != l.Out {
+		panic(fmt.Sprintf("nn: %s batch dst shape %dx%d, want %dx%d", l.name, Y.R, Y.C, X.R, l.Out))
+	}
+	work := X.R * l.In * l.Out
+	if l.dotForm(X.R) {
+		l.syncWt()
+		g := gemmArgs{a: X, dst: Y, wt: l.wt, v1: l.B}
+		if extra := parPlan(X.R, work); extra == 0 {
+			kApplyDotRows(&g, 0, X.R)
+		} else {
+			parDispatch(kApplyDotRows, g, X.R, extra)
+		}
+		return
+	}
+	g := gemmArgs{a: X, dst: Y, b: l.W, v1: l.B, sparse: l.sparseIn}
+	if extra := parPlan(X.R, work); extra == 0 {
+		kApplyRows(&g, 0, X.R)
+	} else {
+		parDispatch(kApplyRows, g, X.R, extra)
 	}
 }
 
@@ -80,15 +157,61 @@ func (l *Linear) Forward(X *Mat) *Mat {
 
 // ForwardInto computes Y = XW + b in place (products accumulate first,
 // bias is added last — Forward's order, used on the gradient recompute
-// path).
-func (l *Linear) ForwardInto(X, Y *Mat) {
-	MatMulInto(Y, X, l.W)
-	for i := 0; i < Y.R; i++ {
-		row := Y.Row(i)
-		for j := range row {
-			row[j] += l.B[j]
-		}
+// path). Rows partition across the kernel worker pool.
+func (l *Linear) ForwardInto(X, Y *Mat) { l.forwardInto(X, Y, true) }
+
+// ForwardSharedInto is ForwardInto for callers whose goroutines share
+// one layer concurrently (the transformer's row-parallel forward): it
+// skips the transposed-copy fast path, whose scratch refresh would race.
+// The output is bit-identical to ForwardInto.
+func (l *Linear) ForwardSharedInto(X, Y *Mat) { l.forwardInto(X, Y, false) }
+
+func (l *Linear) forwardInto(X, Y *Mat, allowDot bool) {
+	if X.C != l.In {
+		panic(fmt.Sprintf("nn: %s forward input width %d, want %d", l.name, X.C, l.In))
 	}
+	if Y.R != X.R || Y.C != l.Out {
+		panic(fmt.Sprintf("nn: %s forward dst shape %dx%d, want %dx%d", l.name, Y.R, Y.C, X.R, l.Out))
+	}
+	work := X.R * l.In * l.Out
+	if allowDot && l.dotForm(X.R) {
+		l.syncWt()
+		g := gemmArgs{a: X, dst: Y, wt: l.wt, v1: l.B}
+		if extra := parPlan(X.R, work); extra == 0 {
+			kForwardDotRows(&g, 0, X.R)
+		} else {
+			parDispatch(kForwardDotRows, g, X.R, extra)
+		}
+		return
+	}
+	g := gemmArgs{a: X, dst: Y, b: l.W, v1: l.B, sparse: l.sparseIn}
+	if extra := parPlan(X.R, work); extra == 0 {
+		kForwardRows(&g, 0, X.R)
+	} else {
+		parDispatch(kForwardRows, g, X.R, extra)
+	}
+}
+
+// backwardDX writes dX = dY·Wᵀ. Tall batches with vector kernels run
+// the axpy form over the transposed weight copy (unit-stride inner
+// loops); otherwise the four-chain dot form. Both keep MatMulABTInto's
+// k-ascending per-element order, so the choice never changes a bit.
+func (l *Linear) backwardDX(dY, dX *Mat) {
+	if dY.C != l.Out || dX.R != dY.R || dX.C != l.In {
+		panic(fmt.Sprintf("nn: %s backward dX shape %dx%d for dY %dx%d, want %dx%d and %dx%d",
+			l.name, dX.R, dX.C, dY.R, dY.C, dY.R, l.In, dY.R, l.Out))
+	}
+	if useVecKernels && dY.R >= dxAxpyMinRows {
+		l.syncWt()
+		g := gemmArgs{a: dY, dst: dX, wt: l.wt}
+		if extra := parPlan(dY.R, dY.R*l.In*l.Out); extra == 0 {
+			kABTAxpyRows(&g, 0, dY.R)
+		} else {
+			parDispatch(kABTAxpyRows, g, dY.R, extra)
+		}
+		return
+	}
+	MatMulABTInto(dX, dY, l.W)
 }
 
 // Backward accumulates dW += XᵀdY and dB += Σrows(dY), returning dX. The
@@ -114,7 +237,7 @@ func (l *Linear) BackwardPartInto(X, dY, dX, dWpart *Mat) {
 	}
 	l.backwardBias(dY)
 	if dX != nil {
-		MatMulABTInto(dX, dY, l.W)
+		l.backwardDX(dY, dX)
 	}
 }
 
@@ -126,7 +249,7 @@ func (l *Linear) BackwardRowsInto(X, dY, dX *Mat) {
 	matMulATBAcc(l.dW, X, dY)
 	l.backwardBias(dY)
 	if dX != nil {
-		MatMulABTInto(dX, dY, l.W)
+		l.backwardDX(dY, dX)
 	}
 }
 
@@ -236,6 +359,16 @@ func (ln *LayerNorm) Params() []*Param {
 	return []*Param{
 		{Name: ln.name + ".gain", Val: ln.Gain, Grad: ln.dGain},
 		{Name: ln.name + ".bias", Val: ln.Bias, Grad: ln.dBias},
+	}
+}
+
+// CloneShared returns a layer norm aliasing ln's gain/bias but owning
+// fresh gradient accumulators; see Linear.CloneShared.
+func (ln *LayerNorm) CloneShared() *LayerNorm {
+	return &LayerNorm{
+		Dim: ln.Dim, Gain: ln.Gain, Bias: ln.Bias,
+		dGain: make([]float64, ln.Dim), dBias: make([]float64, ln.Dim),
+		name: ln.name,
 	}
 }
 
@@ -365,6 +498,32 @@ func LogSoftmaxInto(out, logits []float64) []float64 {
 		out[i] = v - lse
 	}
 	return out
+}
+
+// SoftmaxLogSoftmaxInto fills probs and logp for one logits row,
+// bit-identical to SoftmaxInto(probs, logits) followed by
+// LogSoftmaxInto(logp, logits) but sharing the exponential evaluations
+// — the PPO surrogate needs both per sample, and exp dominates the
+// per-sample epilogue cost.
+func SoftmaxLogSoftmaxInto(probs, logp, logits []float64) {
+	max := math.Inf(-1)
+	for _, v := range logits {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		probs[i] = math.Exp(v - max)
+		sum += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	lse := max + math.Log(sum)
+	for i, v := range logits {
+		logp[i] = v - lse
+	}
 }
 
 // Entropy returns the Shannon entropy of a probability vector.

@@ -86,7 +86,9 @@ func MatMul(a, b *Mat) *Mat {
 }
 
 // MatMulInto computes dst = a·b in place (dst is zeroed first). The
-// accumulation order per element matches MatMul exactly.
+// accumulation order per element matches MatMul exactly; large batches
+// partition output rows across the kernel worker pool (bit-identical
+// for every worker count).
 func MatMulInto(dst, a, b *Mat) {
 	if a.C != b.R {
 		panic(fmt.Sprintf("nn: matmul shape mismatch %dx%d · %dx%d", a.R, a.C, b.R, b.C))
@@ -94,20 +96,11 @@ func MatMulInto(dst, a, b *Mat) {
 	if dst.R != a.R || dst.C != b.C {
 		panic(fmt.Sprintf("nn: matmul dst shape %dx%d, want %dx%d", dst.R, dst.C, a.R, b.C))
 	}
-	dst.Zero()
-	for i := 0; i < a.R; i++ {
-		arow := a.Row(i)
-		orow := dst.Row(i)
-		for k := 0; k < a.C; k++ {
-			av := arow[k]
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j := range orow {
-				orow[j] += av * brow[j]
-			}
-		}
+	g := gemmArgs{dst: dst, a: a, b: b}
+	if extra := parPlan(a.R, a.R*a.C*b.C); extra == 0 {
+		kMatMulRows(&g, 0, a.R)
+	} else {
+		parDispatch(kMatMulRows, g, a.R, extra)
 	}
 }
 
@@ -134,19 +127,14 @@ func MatMulATBInto(dst, a, b *Mat) {
 // matMulATBAcc accumulates dst += aᵀ·b, visiting rows of a in order — the
 // same per-element addition sequence as summing per-sample outer products,
 // which keeps batched weight gradients bit-identical to the per-sample
-// loop.
+// loop. Output rows partition across the kernel worker pool; each dst
+// element is owned by one worker and keeps its r-ascending order.
 func matMulATBAcc(dst, a, b *Mat) {
-	for r := 0; r < a.R; r++ {
-		arow, brow := a.Row(r), b.Row(r)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := dst.Row(i)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
+	g := gemmArgs{dst: dst, a: a, b: b}
+	if extra := parPlan(a.C, a.R*a.C*b.C); extra == 0 {
+		kATBAccRows(&g, 0, a.C)
+	} else {
+		parDispatch(kATBAccRows, g, a.C, extra)
 	}
 }
 
@@ -159,6 +147,9 @@ func MatMulABT(a, b *Mat) *Mat {
 }
 
 // MatMulABTInto computes dst = a·bᵀ in place (every element is written).
+// Four independent accumulator chains run per pass and large batches
+// partition rows across the kernel worker pool; each element keeps the
+// k-ascending summation order of the scalar loop.
 func MatMulABTInto(dst, a, b *Mat) {
 	if a.C != b.C {
 		panic(fmt.Sprintf("nn: matmulABT shape mismatch %dx%d · %dx%d", a.R, a.C, b.R, b.C))
@@ -166,17 +157,11 @@ func MatMulABTInto(dst, a, b *Mat) {
 	if dst.R != a.R || dst.C != b.R {
 		panic(fmt.Sprintf("nn: matmulABT dst shape %dx%d, want %dx%d", dst.R, dst.C, a.R, b.R))
 	}
-	for i := 0; i < a.R; i++ {
-		arow := a.Row(i)
-		orow := dst.Row(i)
-		for j := 0; j < b.R; j++ {
-			brow := b.Row(j)
-			s := 0.0
-			for k := range arow {
-				s += arow[k] * brow[k]
-			}
-			orow[j] = s
-		}
+	g := gemmArgs{dst: dst, a: a, b: b}
+	if extra := parPlan(a.R, a.R*a.C*b.R); extra == 0 {
+		kABTRows(&g, 0, a.R)
+	} else {
+		parDispatch(kABTRows, g, a.R, extra)
 	}
 }
 
@@ -235,9 +220,9 @@ func AddGrads(dst, src []*Param) {
 		if len(d) != len(s) {
 			panic("nn: AddGrads shape mismatch at " + dst[i].Name)
 		}
-		for j := range d {
-			d[j] += s[j]
-		}
+		// d += 1·s through the vector kernel: multiplying by exactly 1.0
+		// is exact, so this is bit-identical to the scalar loop.
+		axpy1Span(d, s, 1)
 	}
 }
 

@@ -50,6 +50,7 @@ type mlpScratch struct {
 	dh   []*Mat // upstream gradients entering each trunk boundary
 	dz   []*Mat // pre-activation gradients per trunk layer
 	dhv  *Mat   // value-head contribution to the last hidden gradient
+	dV   Mat    // reusable header aliasing the caller's dValues column
 }
 
 // MLPPolicy is a tanh MLP trunk with linear policy and value heads, the
@@ -77,6 +78,11 @@ func NewMLP(cfg MLPConfig) *MLPPolicy {
 		m.trunk = append(m.trunk, NewLinear(sprintfName("trunk", i), in, h, rng))
 		in = h
 	}
+	// Observations are one-hot-heavy; the first layer stays on the
+	// zero-skipping axpy kernels (deeper layers see dense tanh
+	// activations and use the transposed dot-form kernels on tall
+	// batches).
+	m.trunk[0].MarkSparseInput()
 	m.pHead = NewLinear("policy", in, cfg.Actions, rng)
 	m.vHead = NewLinear("value", in, 1, rng)
 	for i := range m.pHead.W.Data {
@@ -175,7 +181,8 @@ func (m *MLPPolicy) GradBatch(X *Mat, dLogits *Mat, dValues []float64) {
 		}
 		h = z
 	}
-	dV := &Mat{R: X.R, C: 1, Data: dValues}
+	s.dV = Mat{R: X.R, C: 1, Data: dValues}
+	dV := &s.dV
 	last := len(m.trunk) - 1
 	dh := EnsureMat(&s.dh[last], X.R, m.trunk[last].Out)
 	m.pHead.BackwardRowsInto(h, dLogits, dh)
@@ -205,6 +212,42 @@ func (m *MLPPolicy) Clone() PolicyValueNet {
 	return out
 }
 
+// CloneShared returns a network aliasing m's weights but owning fresh
+// gradient accumulators and scratch. Gradient shard workers run forward
+// and backward passes on it concurrently with each other (weights are
+// read-only during a shard pass) and see the master's optimizer steps
+// without any weight copying; see GradSharer.
+func (m *MLPPolicy) CloneShared() PolicyValueNet {
+	out := &MLPPolicy{cfg: m.cfg}
+	for _, l := range m.trunk {
+		out.trunk = append(out.trunk, l.CloneShared())
+	}
+	out.pHead = m.pHead.CloneShared()
+	out.vHead = m.vHead.CloneShared()
+	for _, l := range out.trunk {
+		out.params = append(out.params, l.Params()...)
+	}
+	out.params = append(out.params, out.pHead.Params()...)
+	out.params = append(out.params, out.vHead.Params()...)
+	out.scratch = mlpScratch{
+		acts: make([]*Mat, len(out.trunk)),
+		dh:   make([]*Mat, len(out.trunk)),
+		dz:   make([]*Mat, len(out.trunk)),
+	}
+	return out
+}
+
+// SyncSharedScratch refreshes the transposed weight copies aliased by
+// CloneShared clones: the dense layers whose backward input-gradient
+// kernel reads Wᵀ (the sparse first layer never produces a dX).
+func (m *MLPPolicy) SyncSharedScratch() {
+	for _, l := range m.trunk[1:] {
+		l.syncWt()
+	}
+	m.pHead.syncWt()
+	m.vHead.syncWt()
+}
+
 // copyParams copies parameter values between identically shaped networks.
 func copyParams(dst, src []*Param) {
 	if len(dst) != len(src) {
@@ -218,3 +261,16 @@ func copyParams(dst, src []*Param) {
 // CopyWeights copies parameter values from src into dst; the networks must
 // share a layout (e.g. Clone pairs).
 func CopyWeights(dst, src PolicyValueNet) { copyParams(dst.Params(), src.Params()) }
+
+// GradSharer is implemented by networks that can hand out weight-aliased
+// gradient-accumulator clones. The PPO trainer prefers it over Clone:
+// shard workers then need no per-minibatch CopyWeights, and the weight
+// arrays stay hot in cache across workers. Contract: after any weight
+// update and before the next shard pass, the caller must invoke
+// SyncSharedScratch on the master so the clones' aliased kernel scratch
+// (transposed weight copies) is fresh — clones never refresh it
+// themselves, because concurrent shard passes would race on it.
+type GradSharer interface {
+	CloneShared() PolicyValueNet
+	SyncSharedScratch()
+}

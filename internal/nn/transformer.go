@@ -48,6 +48,7 @@ type TransformerPolicy struct {
 	pHead, vHead   *Linear
 	params         []*Param
 	scratch        *tfScratch
+	fwdPool        []*tfScratch // per-chunk forward scratches for row-parallel ApplyBatch
 }
 
 // NewTransformer builds the network; it panics when Heads does not divide
@@ -76,6 +77,7 @@ func NewTransformer(cfg TransformerConfig) *TransformerPolicy {
 	for i := range t.pHead.W.Data {
 		t.pHead.W.Data[i] *= 0.01
 	}
+	t.embed.MarkSparseInput() // observation rows are one-hot-heavy
 	for _, l := range []*Linear{t.embed, t.wq, t.wk, t.wv, t.wo, t.ff1, t.ff2, t.pHead, t.vHead} {
 		t.params = append(t.params, l.Params()...)
 	}
@@ -99,6 +101,41 @@ func (t *TransformerPolicy) Clone() PolicyValueNet {
 	out := NewTransformer(t.cfg)
 	copyParams(out.params, t.params)
 	return out
+}
+
+// CloneShared returns a network aliasing t's weights but owning fresh
+// gradient accumulators and scratch; see GradSharer.
+func (t *TransformerPolicy) CloneShared() PolicyValueNet {
+	out := &TransformerPolicy{
+		cfg:   t.cfg,
+		embed: t.embed.CloneShared(),
+		ln1:   t.ln1.CloneShared(),
+		ln2:   t.ln2.CloneShared(),
+		wq:    t.wq.CloneShared(),
+		wk:    t.wk.CloneShared(),
+		wv:    t.wv.CloneShared(),
+		wo:    t.wo.CloneShared(),
+		ff1:   t.ff1.CloneShared(),
+		ff2:   t.ff2.CloneShared(),
+		pHead: t.pHead.CloneShared(),
+		vHead: t.vHead.CloneShared(),
+	}
+	for _, l := range []*Linear{out.embed, out.wq, out.wk, out.wv, out.wo, out.ff1, out.ff2, out.pHead, out.vHead} {
+		out.params = append(out.params, l.Params()...)
+	}
+	out.params = append(out.params, out.ln1.Params()...)
+	out.params = append(out.params, out.ln2.Params()...)
+	out.scratch = newTfScratch(out.cfg)
+	return out
+}
+
+// SyncSharedScratch refreshes the transposed weight copies aliased by
+// CloneShared clones: the encoder layers whose backward input-gradient
+// kernel reads Wᵀ over the window-tall gradient batches.
+func (t *TransformerPolicy) SyncSharedScratch() {
+	for _, l := range [...]*Linear{t.wq, t.wk, t.wv, t.wo, t.ff1, t.ff2} {
+		l.syncWt()
+	}
 }
 
 // tfScratch carries every intermediate of the forward and backward pass
@@ -219,11 +256,11 @@ func addColSlice(dst *Mat, src *Mat, lo int) {
 func (t *TransformerPolicy) forwardInto(obs []float64, s *tfScratch) {
 	cfg := t.cfg
 	X := &Mat{R: cfg.Window, C: cfg.Features, Data: obs}
-	t.embed.ForwardInto(X, s.E)
+	t.embed.ForwardSharedInto(X, s.E)
 	t.ln1.ForwardInto(s.E, s.N1, &s.ln1c)
-	t.wq.ForwardInto(s.N1, s.Q)
-	t.wk.ForwardInto(s.N1, s.K)
-	t.wv.ForwardInto(s.N1, s.V)
+	t.wq.ForwardSharedInto(s.N1, s.Q)
+	t.wk.ForwardSharedInto(s.N1, s.K)
+	t.wv.ForwardSharedInto(s.N1, s.V)
 	dh := cfg.Model / cfg.Heads
 	scale := 1 / math.Sqrt(float64(dh))
 	s.O.Zero()
@@ -243,14 +280,14 @@ func (t *TransformerPolicy) forwardInto(obs []float64, s *tfScratch) {
 		MatMulInto(s.oh, P, s.vh)
 		addColSlice(s.O, s.oh, lo)
 	}
-	t.wo.ForwardInto(s.O, s.AOut)
+	t.wo.ForwardSharedInto(s.O, s.AOut)
 	for i := range s.H1.Data {
 		s.H1.Data[i] = s.E.Data[i] + s.AOut.Data[i]
 	}
 	t.ln2.ForwardInto(s.H1, s.N2, &s.ln2c)
-	t.ff1.ForwardInto(s.N2, s.F1)
+	t.ff1.ForwardSharedInto(s.N2, s.F1)
 	ReLUInto(s.F1, s.R)
-	t.ff2.ForwardInto(s.R, s.F2)
+	t.ff2.ForwardSharedInto(s.R, s.F2)
 	for i := range s.H2.Data {
 		s.H2.Data[i] = s.H1.Data[i] + s.F2.Data[i]
 	}
@@ -280,14 +317,42 @@ func (t *TransformerPolicy) Apply(obs []float64) ([]float64, float64) {
 	return s.logits, s.value
 }
 
-// ApplyBatch runs the forward pass for each row of the B×(W·F) batch
-// through the net-owned scratch, writing logits and values into
-// caller-owned storage. Requires exclusive use of the net.
+// ApplyBatch runs the forward pass for each row of the B×(W·F) batch,
+// writing logits and values into caller-owned storage. Requires
+// exclusive use of the net. Rows partition across the kernel worker
+// pool, each chunk on its own forward scratch; every row is
+// bit-identical to a per-sample Apply regardless of worker count.
 func (t *TransformerPolicy) ApplyBatch(X *Mat, logits *Mat, values []float64) {
-	for i := 0; i < X.R; i++ {
-		t.forwardInto(X.Row(i), t.scratch)
-		copy(logits.Row(i), t.scratch.logits)
-		values[i] = t.scratch.value
+	if len(t.fwdPool) == 0 {
+		// Chunk 0 runs on the caller and reuses the training scratch;
+		// extra chunks get forward-only scratches, grown lazily below
+		// only when a dispatch actually fans out.
+		t.fwdPool = append(t.fwdPool, t.scratch)
+	}
+	cfg := t.cfg
+	perRow := cfg.Window*(4*cfg.Model*cfg.Model+2*cfg.Model*cfg.FF) +
+		2*cfg.Window*cfg.Window*cfg.Model // rough attention + FFN cost
+	g := gemmArgs{ctx: t, a: X, dst: logits, v1: values}
+	if extra := parPlan(X.R, X.R*perRow); extra == 0 {
+		kTfApplyRows(&g, 0, X.R)
+	} else {
+		for len(t.fwdPool) <= extra {
+			t.fwdPool = append(t.fwdPool, newTfForwardScratch(t.cfg))
+		}
+		parDispatch(kTfApplyRows, g, X.R, extra)
+	}
+}
+
+// kTfApplyRows forwards observation rows [lo,hi) through the chunk's
+// scratch (g.ctx is the *TransformerPolicy, g.idx selects the scratch).
+func kTfApplyRows(g *gemmArgs, lo, hi int) {
+	t := g.ctx.(*TransformerPolicy)
+	s := t.fwdPool[g.idx]
+	X, logits, values := g.a, g.dst, g.v1
+	for i := lo; i < hi; i++ {
+		t.forwardInto(X.Row(i), s)
+		copy(logits.Row(i), s.logits)
+		values[i] = s.value
 	}
 }
 

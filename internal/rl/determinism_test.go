@@ -1,0 +1,83 @@
+package rl
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"autocat/internal/cache"
+	"autocat/internal/env"
+	"autocat/internal/nn"
+)
+
+// TestEpochStatsKernelWorkerInvariance trains the same fixed-seed run
+// under kernel worker counts 1, 2, and NumCPU and asserts the epoch
+// statistics streams are bit-identical: execution parallelism (token
+// pool size) must never change the math. The gradient reduction
+// grouping (PPOConfig.Workers) stays fixed — it is part of the math.
+func TestEpochStatsKernelWorkerInvariance(t *testing.T) {
+	defer nn.SetKernelWorkers(runtime.GOMAXPROCS(0))
+	run := func() []EpochStats {
+		var envs []*env.Env
+		for i := 0; i < 2; i++ {
+			cfg := env.Config{
+				Cache:      cache.Config{NumBlocks: 2, NumWays: 2, Policy: cache.LRU},
+				AttackerLo: 1, AttackerHi: 2,
+				VictimLo: 0, VictimHi: 0,
+				FlushEnable:    true,
+				VictimNoAccess: true,
+				WindowSize:     8,
+				Warmup:         -1,
+				Seed:           31 + int64(i)*7919,
+			}
+			e, err := env.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			envs = append(envs, e)
+		}
+		net := nn.NewMLP(nn.MLPConfig{
+			ObsDim: envs[0].ObsDim(), Actions: envs[0].NumActions(),
+			Hidden: []int{16, 16}, Seed: 31,
+		})
+		tr, err := NewTrainer(net, envs, PPOConfig{
+			StepsPerEpoch: 256, MinibatchSize: 64, UpdateEpochs: 2,
+			MaxEpochs: 2, Workers: 4, Seed: 31,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats []EpochStats
+		for epoch := 1; epoch <= 2; epoch++ {
+			stats = append(stats, tr.Epoch(epoch))
+		}
+		return stats
+	}
+
+	var ref []EpochStats
+	for _, workers := range []int{1, 2, runtime.NumCPU()} {
+		nn.SetKernelWorkers(workers)
+		got := run()
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range ref {
+			pairs := [][2]float64{
+				{ref[i].MeanReward, got[i].MeanReward},
+				{ref[i].MeanLength, got[i].MeanLength},
+				{ref[i].Accuracy, got[i].Accuracy},
+				{ref[i].GuessRate, got[i].GuessRate},
+				{ref[i].Entropy, got[i].Entropy},
+				{ref[i].PolicyLoss, got[i].PolicyLoss},
+				{ref[i].ValueLoss, got[i].ValueLoss},
+			}
+			for j, p := range pairs {
+				if math.Float64bits(p[0]) != math.Float64bits(p[1]) {
+					t.Fatalf("kernel workers %d: epoch %d field %d diverged: %v vs %v",
+						workers, i+1, j, p[0], p[1])
+				}
+			}
+		}
+	}
+}

@@ -159,11 +159,10 @@ type Result struct {
 	FinalLength   float64
 }
 
-// Trainer owns the policy network, the parallel environment actors, and
-// the optimizer state for one training run. All rollout and update
+// Trainer owns the policy network, the lockstep rollout environments,
+// and the optimizer state for one training run. All rollout and update
 // buffers are preallocated and reused across epochs, so the steady-state
-// hot path allocates nothing beyond what the policy's concurrent Apply
-// needs (see DESIGN.md "Hot path & data layout").
+// hot path allocates nothing (see DESIGN.md "Hot path & data layout").
 type Trainer struct {
 	cfg  PPOConfig
 	net  nn.PolicyValueNet
@@ -175,19 +174,32 @@ type Trainer struct {
 	curEnt  float64             // entropy coefficient for the current epoch
 	curEps  float64             // exploration mix for the current epoch
 	workers []nn.PolicyValueNet // gradient shard clones
+	sharedW bool                // workers alias the master's weights (GradSharer)
 
 	actorBufs []actorBuf      // per-actor transition + observation storage
 	batch     []transition    // reusable epoch batch
 	wscratch  []workerScratch // per-gradient-worker minibatch buffers
+	inlineW   []int           // shard indices run inline (no token free)
+
+	// lockstep-collector state, reused across epochs
+	active  env.ActiveSet
+	results []actorResult
+	obsX    *nn.Mat     // gathered observations of the live envs
+	logitsX *nn.Mat     // batched policy logits
+	valuesX []float64   // batched value estimates
+	cur     [][]float64 // per-env current-observation arena slot
 }
 
-// actorBuf is one rollout actor's reusable storage: its transition slice
-// and a flat arena holding every observation of the epoch (slot i backs
-// trans[i].obs), so stepping allocates nothing.
+// actorBuf is one rollout environment's reusable storage: its transition
+// slice, a flat arena holding every observation of the epoch (slot i
+// backs trans[i].obs), and the in-flight episode bookkeeping the
+// lockstep collector needs, so stepping allocates nothing.
 type actorBuf struct {
-	trans []transition
-	arena []float64
-	probs []float64
+	trans   []transition
+	arena   []float64
+	probs   []float64
+	epStart int     // index of the running episode's first transition
+	epRet   float64 // running episode return
 }
 
 // workerScratch is one gradient worker's reusable minibatch storage: the
@@ -239,8 +251,17 @@ func NewTrainer(net nn.PolicyValueNet, envs []*env.Env, cfg PPOConfig) (*Trainer
 	for i := range envs {
 		t.rngs = append(t.rngs, rand.New(rand.NewSource(cfg.Seed+int64(i)*7907+13)))
 	}
-	for w := 0; w < cfg.Workers; w++ {
-		t.workers = append(t.workers, net.Clone())
+	if gs, ok := net.(nn.GradSharer); ok {
+		// Weight-aliased shard clones: no per-minibatch CopyWeights and
+		// the weight arrays stay hot across workers.
+		t.sharedW = true
+		for w := 0; w < cfg.Workers; w++ {
+			t.workers = append(t.workers, gs.CloneShared())
+		}
+	} else {
+		for w := 0; w < cfg.Workers; w++ {
+			t.workers = append(t.workers, net.Clone())
+		}
 	}
 	t.actorBufs = make([]actorBuf, len(envs))
 	t.wscratch = make([]workerScratch, cfg.Workers)
@@ -272,81 +293,132 @@ type actorResult struct {
 	correct  int
 }
 
-// collect gathers ~StepsPerEpoch transitions across the parallel actors,
-// always completing the final episode of each actor so GAE never needs a
-// bootstrap value.
+// collect gathers ~StepsPerEpoch transitions by stepping every
+// environment in lockstep: one ApplyBatch over the live environments'
+// observations per timestep, then one env step each. Each environment
+// keeps its own RNG stream, arena, and episode/budget bookkeeping, so
+// its trajectory is bit-identical to the per-actor rollout it replaces
+// (ApplyBatch rows reproduce per-sample Apply exactly); environments
+// that meet their budget drop out of the batch through the compact
+// active-index set. The final episode of each environment always
+// completes, so GAE never needs a bootstrap value. No allocations in
+// steady state.
 func (t *Trainer) collect() []actorResult {
 	perActor := (t.cfg.StepsPerEpoch + len(t.envs) - 1) / len(t.envs)
-	results := make([]actorResult, len(t.envs))
-	var wg sync.WaitGroup
-	for i := range t.envs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			results[i] = t.runActor(t.envs[i], t.rngs[i], perActor, &t.actorBufs[i])
-		}(i)
+	n := len(t.envs)
+	obsDim := t.net.ObsDim()
+	acts := t.net.NumActions()
+	if t.results == nil {
+		t.results = make([]actorResult, n)
 	}
-	wg.Wait()
-	return results
+	if t.cur == nil {
+		t.cur = make([][]float64, n)
+	}
+	X := nn.EnsureMat(&t.obsX, n, obsDim)
+	logits := nn.EnsureMat(&t.logitsX, n, acts)
+	t.valuesX = ensureFloats(t.valuesX, n)
+	for i := 0; i < n; i++ {
+		t.results[i] = actorResult{}
+		e := t.envs[i]
+		buf := &t.actorBufs[i]
+		// The loop exits once the budget is met and the final episode
+		// adds at most MaxSteps transitions, plus one trailing slot for
+		// the post-terminal observation — a provable arena bound, so the
+		// arena never reallocates (which would dangle earlier
+		// trans[i].obs slices).
+		slots := perActor + e.MaxSteps() + 1
+		if cap(buf.arena) < slots*obsDim {
+			buf.arena = make([]float64, slots*obsDim)
+		}
+		buf.arena = buf.arena[:slots*obsDim]
+		buf.probs = ensureFloats(buf.probs, acts)
+		buf.trans = buf.trans[:0]
+		buf.epStart, buf.epRet = 0, 0
+		obs := buf.arena[:obsDim]
+		e.ResetInto(obs)
+		t.cur[i] = obs
+	}
+	t.active.Reset(n)
+	for t.active.Len() > 0 {
+		idx := t.active.Indices()
+		a := len(idx)
+		X.R, X.Data = a, X.Data[:a*obsDim]
+		logits.R, logits.Data = a, logits.Data[:a*acts]
+		values := t.valuesX[:a]
+		for k, i := range idx {
+			copy(X.Row(k), t.cur[i])
+		}
+		t.net.ApplyBatch(X, logits, values)
+		for k, i := range idx {
+			t.stepLockstep(i, perActor, obsDim, logits.Row(k), values[k])
+		}
+		t.active.Compact(func(i int) bool { return t.results[i].trans == nil })
+	}
+	return t.results
 }
 
-// runActor plays episodes until the step budget is met, computing GAE
-// returns at each episode end. Observations live in the actor's flat
-// arena (slot i backs trans[i].obs) and transitions in its reusable
-// slice; both stay valid until the actor's next epoch.
-func (t *Trainer) runActor(e *env.Env, rng *rand.Rand, budget int, buf *actorBuf) actorResult {
-	obsDim := e.ObsDim()
-	// The loop exits once the budget is met and the final episode adds at
-	// most MaxSteps transitions, plus one trailing slot for the
-	// post-terminal observation — a provable arena bound, so the arena
-	// never reallocates (which would dangle earlier trans[i].obs slices).
-	slots := budget + e.MaxSteps() + 1
-	if cap(buf.arena) < slots*obsDim {
-		buf.arena = make([]float64, slots*obsDim)
-	}
-	buf.arena = buf.arena[:slots*obsDim]
-	buf.probs = ensureFloats(buf.probs, e.NumActions())
-	buf.trans = buf.trans[:0]
+// stepLockstep advances environment i by one action sampled from the
+// batched logits row, handling episode termination, GAE, and
+// retirement once the budget is met (marked by setting the result's
+// trans slice). The math per environment is exactly the pre-lockstep
+// per-actor loop.
+func (t *Trainer) stepLockstep(i, budget, obsDim int, lrow []float64, value float64) {
+	e := t.envs[i]
+	buf := &t.actorBufs[i]
 	probs := buf.probs
-	var res actorResult
-	for len(buf.trans) < budget {
-		start := len(buf.trans)
-		obs := buf.arena[start*obsDim : (start+1)*obsDim]
-		e.ResetInto(obs)
-		done := false
-		epRet := 0.0
-		for !done {
-			logits, value := t.net.Apply(obs)
-			nn.SoftmaxInto(probs, logits)
-			// Behavior policy: μ = (1-ε)π + ε·uniform.
-			if eps := t.curEps; eps > 0 {
-				u := 1 / float64(len(probs))
-				for k := range probs {
-					probs[k] = (1-eps)*probs[k] + eps*u
-				}
-			}
-			action := nn.SampleCategorical(probs, rng)
-			next := buf.arena[(len(buf.trans)+1)*obsDim : (len(buf.trans)+2)*obsDim]
-			reward, d := e.StepInto(action, next)
-			buf.trans = append(buf.trans, transition{
-				obs: obs, action: action,
-				logp: math.Log(probs[action]), value: value, reward: reward,
-				entropy: nn.Entropy(probs),
-			})
-			epRet += reward
-			obs = next
-			done = d
+	nn.SoftmaxInto(probs, lrow)
+	// Behavior policy: μ = (1-ε)π + ε·uniform.
+	if eps := t.curEps; eps > 0 {
+		u := 1 / float64(len(probs))
+		for k := range probs {
+			probs[k] = (1-eps)*probs[k] + eps*u
 		}
-		correct, guesses := e.EpisodeGuesses()
-		res.episodes++
-		res.sumRet += epRet
-		res.sumLen += len(buf.trans) - start
-		res.guesses += guesses
-		res.correct += correct
-		t.gae(buf.trans[start:])
 	}
-	res.trans = buf.trans
-	return res
+	action := nn.SampleCategorical(probs, t.rngs[i])
+	next := buf.arena[(len(buf.trans)+1)*obsDim : (len(buf.trans)+2)*obsDim]
+	reward, done := e.StepInto(action, next)
+	buf.trans = append(buf.trans, transition{
+		obs: t.cur[i], action: action,
+		logp: math.Log(probs[action]), value: value, reward: reward,
+		entropy: nn.Entropy(probs),
+	})
+	buf.epRet += reward
+	t.cur[i] = next
+	if !done {
+		return
+	}
+	res := &t.results[i]
+	correct, guesses := e.EpisodeGuesses()
+	res.episodes++
+	res.sumRet += buf.epRet
+	res.sumLen += len(buf.trans) - buf.epStart
+	res.guesses += guesses
+	res.correct += correct
+	t.gae(buf.trans[buf.epStart:])
+	if len(buf.trans) >= budget {
+		res.trans = buf.trans // retired: drops out of the active set
+		return
+	}
+	buf.epStart = len(buf.trans)
+	buf.epRet = 0
+	obs := buf.arena[buf.epStart*obsDim : (buf.epStart+1)*obsDim]
+	e.ResetInto(obs)
+	t.cur[i] = obs
+}
+
+// CollectSteps runs one lockstep collection pass — no PPO update — and
+// returns the number of transitions gathered. It advances the
+// environments and their RNG streams exactly like the collection phase
+// of an epoch; cmd/autocat-bench uses it to meter raw vectorized
+// rollout throughput.
+func (t *Trainer) CollectSteps() int {
+	t.curEnt = t.cfg.EntCoef
+	t.curEps = 0
+	n := 0
+	for i := range t.collect() {
+		n += len(t.results[i].trans)
+	}
+	return n
 }
 
 // gae fills advantages and returns for one completed episode (terminal
@@ -386,7 +458,10 @@ func (t *Trainer) exploreEpsAt(epoch int) float64 {
 	return t.cfg.ExploreEps * (1 - frac)
 }
 
-// Epoch runs one collect + update cycle and returns its statistics.
+// Epoch runs one collect + update cycle and returns its statistics. The
+// epoch's own goroutine is the implicit compute consumer (a campaign
+// worker running it already holds a token); the gradient shards below
+// only take *extra* tokens, so the pool is never double-booked.
 func (t *Trainer) Epoch(epochIdx int) EpochStats {
 	t.curEnt = t.entCoefAt(epochIdx)
 	t.curEps = t.exploreEpsAt(epochIdx)
@@ -479,20 +554,49 @@ func (t *Trainer) update(batch []transition) (policyLoss, valueLoss float64) {
 // applies clipping and one Adam step and returns the mean losses. Each
 // worker gathers its shard into a preallocated observation batch and runs
 // it through the policy's batched forward/backward path.
+//
+// The shard count is fixed by cfg.Workers (it is part of the gradient
+// reduction grouping, so it must not depend on the machine), but shard
+// *execution* adapts to the compute-token pool: extra shards run on
+// goroutines only when spare tokens exist, and inline on the caller
+// otherwise — identical results either way, and a saturated machine
+// (every token held by campaign workers) runs everything inline with
+// zero scheduling overhead.
 func (t *Trainer) minibatch(batch []transition, mb []int) (policyLoss, valueLoss float64) {
 	nw := len(t.workers)
 	if nw > len(mb) {
 		nw = len(mb)
 	}
-	var wg sync.WaitGroup
+	if t.sharedW {
+		// One transpose-scratch refresh on the master covers every
+		// weight-aliased shard clone (GradSharer contract).
+		t.net.(nn.GradSharer).SyncSharedScratch()
+	}
 	for w := 0; w < nw; w++ {
-		nn.CopyWeights(t.workers[w], t.net)
+		if !t.sharedW {
+			nn.CopyWeights(t.workers[w], t.net)
+		}
 		nn.ZeroGrads(t.workers[w].Params())
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			t.workerShard(t.workers[w], &t.wscratch[w], batch, mb, w, nw)
-		}(w)
+	}
+	var wg sync.WaitGroup
+	t.inlineW = t.inlineW[:0]
+	for w := 1; w < nw; w++ {
+		if nn.TryAcquireExtraToken() {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				defer nn.ReleaseComputeToken()
+				t.workerShard(t.workers[w], &t.wscratch[w], batch, mb, w, nw)
+			}(w)
+		} else {
+			t.inlineW = append(t.inlineW, w)
+		}
+	}
+	if nw > 0 {
+		t.workerShard(t.workers[0], &t.wscratch[0], batch, mb, 0, nw)
+	}
+	for _, w := range t.inlineW {
+		t.workerShard(t.workers[w], &t.wscratch[w], batch, mb, w, nw)
 	}
 	wg.Wait()
 	nn.ZeroGrads(t.net.Params())
@@ -531,8 +635,8 @@ func (t *Trainer) workerShard(net nn.PolicyValueNet, ws *workerScratch, batch []
 	for row, k := 0, w; k < len(mb); row, k = row+1, k+nw {
 		tr := batch[mb[k]]
 		lrow := logits.Row(row)
-		lp := nn.LogSoftmaxInto(ws.lp, lrow)
-		probs := nn.SoftmaxInto(ws.probs, lrow)
+		nn.SoftmaxLogSoftmaxInto(ws.probs, ws.lp, lrow)
+		lp, probs := ws.lp, ws.probs
 		logpNew := lp[tr.action]
 		ratio := math.Exp(logpNew - tr.logp)
 
