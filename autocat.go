@@ -64,6 +64,11 @@ type (
 	PolicyKind = cache.PolicyKind
 	// PrefetcherKind names a prefetcher model.
 	PrefetcherKind = cache.PrefetcherKind
+	// DefenseKind names an index-mapping/partitioning defense.
+	DefenseKind = cache.DefenseKind
+	// DefenseConfig selects and parameterizes a cache defense (CEASER
+	// keyed rekeying, skewed multi-hash, way partitioning).
+	DefenseConfig = cache.DefenseConfig
 )
 
 // Replacement policies and prefetchers.
@@ -79,6 +84,24 @@ const (
 
 	DomainAttacker = cache.DomainAttacker
 	DomainVictim   = cache.DomainVictim
+)
+
+// Index-mapping defenses (CacheConfig.Defense.Kind).
+const (
+	DefenseNone      = cache.DefenseNone
+	DefenseCEASER    = cache.DefenseCEASER
+	DefenseSkew      = cache.DefenseSkew
+	DefensePartition = cache.DefensePartition
+)
+
+// Campaign defense-axis values (CampaignSpec.Defenses); these are the
+// string forms of the cache defenses plus the PL-cache lock.
+const (
+	CampaignDefenseNone      = campaign.DefenseNone
+	CampaignDefensePLCache   = campaign.DefensePLCache
+	CampaignDefenseCEASER    = campaign.DefenseCEASER
+	CampaignDefenseSkew      = campaign.DefenseSkew
+	CampaignDefensePartition = campaign.DefensePartition
 )
 
 // NewCache builds a cache simulator; it panics on invalid configuration

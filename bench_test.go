@@ -43,6 +43,11 @@ func BenchmarkFigure4(b *testing.B)    { runOnce(b, exp.Figure4) }
 func BenchmarkFigure5(b *testing.B)    { runOnce(b, exp.Figure5) }
 func BenchmarkSearchVsRL(b *testing.B) { runOnce(b, exp.SearchVsRL) }
 
+// BenchmarkTableDefenses regenerates the defense-bypass table: the RL
+// agent against the index-mapping defense suite (CEASER rekeying,
+// skewed multi-hash, way partitioning) as a campaign sweep.
+func BenchmarkTableDefenses(b *testing.B) { runOnce(b, exp.TableDefenses) }
+
 // oneBitEnv is the minimal guessing game used by the ablation benches.
 func oneBitEnv(seed int64) autocat.EnvConfig {
 	return autocat.EnvConfig{
@@ -147,9 +152,10 @@ func BenchmarkCampaignWorkersNumCPU(b *testing.B) {
 // The bodies live in internal/bench so `cmd/autocat-bench -json` measures
 // the exact same workloads CI smoke-tests here.
 
-func BenchmarkStepHot(b *testing.B)      { bench.StepHot(b) }
-func BenchmarkRolloutSteps(b *testing.B) { bench.RolloutSteps(b) }
-func BenchmarkPPOEpoch(b *testing.B)     { bench.PPOEpoch(b) }
+func BenchmarkStepHot(b *testing.B)         { bench.StepHot(b) }
+func BenchmarkStepHotDefended(b *testing.B) { bench.StepHotDefended(b) }
+func BenchmarkRolloutSteps(b *testing.B)    { bench.RolloutSteps(b) }
+func BenchmarkPPOEpoch(b *testing.B)        { bench.PPOEpoch(b) }
 
 // Micro-benchmarks of the substrates.
 

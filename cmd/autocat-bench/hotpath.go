@@ -39,15 +39,22 @@ var hotpathBaseline = hotpathStats{
 }
 
 type hotpathStats struct {
-	Description      string  `json:"description"`
-	StepNsPerOp      float64 `json:"step_ns_per_op"`
-	StepAllocsPerOp  float64 `json:"step_allocs_per_op"`
-	StepsPerSec      float64 `json:"steps_per_sec"`
-	RolloutStepsSec  float64 `json:"rollout_steps_per_sec,omitempty"`
-	PPOEpochStepsSec float64 `json:"ppo_epoch_steps_per_sec"`
-	CampaignJobsSec  float64 `json:"campaign_jobs_per_sec_4workers"`
-	ApplyNsPerSample float64 `json:"apply_batch_ns_per_sample"`
-	GradNsPerSample  float64 `json:"grad_batch_ns_per_sample,omitempty"`
+	Description     string  `json:"description"`
+	StepNsPerOp     float64 `json:"step_ns_per_op"`
+	StepAllocsPerOp float64 `json:"step_allocs_per_op"`
+	StepsPerSec     float64 `json:"steps_per_sec"`
+	// DefendedStepNs is the StepHot loop with the CEASER keyed remap and
+	// rekeying enabled (internal/bench.DefendedEnvConfig): the defense
+	// suite sits on the set-lookup hot path, so -compare gates its cost
+	// separately from the undefended loop. DefendedStepAllocs is gated
+	// strictly like the undefended alloc count.
+	DefendedStepNs     float64 `json:"defended_step_ns,omitempty"`
+	DefendedStepAllocs float64 `json:"defended_step_allocs_per_op,omitempty"`
+	RolloutStepsSec    float64 `json:"rollout_steps_per_sec,omitempty"`
+	PPOEpochStepsSec   float64 `json:"ppo_epoch_steps_per_sec"`
+	CampaignJobsSec    float64 `json:"campaign_jobs_per_sec_4workers"`
+	ApplyNsPerSample   float64 `json:"apply_batch_ns_per_sample"`
+	GradNsPerSample    float64 `json:"grad_batch_ns_per_sample,omitempty"`
 }
 
 type hotpathReport struct {
@@ -61,6 +68,8 @@ type hotpathReport struct {
 func measureHotpath() hotpathStats {
 	fmt.Println("measuring env.StepInto + cache.Access loop ...")
 	step := testing.Benchmark(bench.StepHot)
+	fmt.Println("measuring defended (ceaser-rekeyed) step loop ...")
+	defended := testing.Benchmark(bench.StepHotDefended)
 	fmt.Println("measuring vectorized lockstep rollout ...")
 	roll := testing.Benchmark(bench.RolloutSteps)
 	fmt.Println("measuring full PPO epochs ...")
@@ -74,15 +83,17 @@ func measureHotpath() hotpathStats {
 
 	stepNs := float64(step.NsPerOp())
 	return hotpathStats{
-		Description:      "measured by cmd/autocat-bench",
-		StepNsPerOp:      stepNs,
-		StepAllocsPerOp:  float64(step.AllocsPerOp()),
-		StepsPerSec:      1e9 / stepNs,
-		RolloutStepsSec:  roll.Extra["steps/s"],
-		PPOEpochStepsSec: ppo.Extra["steps/s"],
-		CampaignJobsSec:  camp.Extra["jobs/s"],
-		ApplyNsPerSample: float64(apply.NsPerOp()) / bench.ApplyBatchRows,
-		GradNsPerSample:  float64(grad.NsPerOp()) / bench.ApplyBatchRows,
+		Description:        "measured by cmd/autocat-bench",
+		StepNsPerOp:        stepNs,
+		StepAllocsPerOp:    float64(step.AllocsPerOp()),
+		StepsPerSec:        1e9 / stepNs,
+		DefendedStepNs:     float64(defended.NsPerOp()),
+		DefendedStepAllocs: float64(defended.AllocsPerOp()),
+		RolloutStepsSec:    roll.Extra["steps/s"],
+		PPOEpochStepsSec:   ppo.Extra["steps/s"],
+		CampaignJobsSec:    camp.Extra["jobs/s"],
+		ApplyNsPerSample:   float64(apply.NsPerOp()) / bench.ApplyBatchRows,
+		GradNsPerSample:    float64(grad.NsPerOp()) / bench.ApplyBatchRows,
 	}
 }
 
@@ -108,6 +119,8 @@ func runHotpath(path string) error {
 	}
 	fmt.Printf("step hot path: %.1f ns/op, %.0f allocs/op (%.2fM steps/s, %.2fx baseline)\n",
 		cur.StepNsPerOp, cur.StepAllocsPerOp, cur.StepsPerSec/1e6, cur.StepsPerSec/hotpathBaseline.StepsPerSec)
+	fmt.Printf("defended step: %.1f ns/op, %.0f allocs/op (ceaser keyed remap + rekeying)\n",
+		cur.DefendedStepNs, cur.DefendedStepAllocs)
 	fmt.Printf("rollout:       %.0f steps/s\n", cur.RolloutStepsSec)
 	fmt.Printf("ppo epoch:     %.0f steps/s (%.2fx baseline)\n",
 		cur.PPOEpochStepsSec, cur.PPOEpochStepsSec/hotpathBaseline.PPOEpochStepsSec)
@@ -128,6 +141,7 @@ type hotpathMetric struct {
 
 var hotpathMetrics = []hotpathMetric{
 	{"steps_per_sec", func(s *hotpathStats) float64 { return s.StepsPerSec }, true},
+	{"defended_step_ns", func(s *hotpathStats) float64 { return s.DefendedStepNs }, false},
 	{"rollout_steps_per_sec", func(s *hotpathStats) float64 { return s.RolloutStepsSec }, true},
 	{"ppo_epoch_steps_per_sec", func(s *hotpathStats) float64 { return s.PPOEpochStepsSec }, true},
 	{"campaign_jobs_per_sec_4workers", func(s *hotpathStats) float64 { return s.CampaignJobsSec }, true},
@@ -182,6 +196,14 @@ func runCompare(path string, tolerance float64) error {
 	} else {
 		fmt.Printf("  %-32s %12g -> %12g  ok (strict)\n",
 			"step_allocs_per_op", ref.Current.StepAllocsPerOp, cur.StepAllocsPerOp)
+	}
+	if cur.DefendedStepAllocs > ref.Current.DefendedStepAllocs {
+		fmt.Printf("  %-32s %12g -> %12g  REGRESSION (strict)\n",
+			"defended_step_allocs_per_op", ref.Current.DefendedStepAllocs, cur.DefendedStepAllocs)
+		failures = append(failures, "defended_step_allocs_per_op")
+	} else {
+		fmt.Printf("  %-32s %12g -> %12g  ok (strict)\n",
+			"defended_step_allocs_per_op", ref.Current.DefendedStepAllocs, cur.DefendedStepAllocs)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("hot-path regression in: %v", failures)

@@ -28,6 +28,7 @@ import (
 func main() {
 	table := flag.Int("table", 0, "table number to regenerate (3-10)")
 	figure := flag.Int("figure", 0, "figure number to regenerate (3-5)")
+	defenses := flag.Bool("defenses", false, "regenerate the defense-bypass table (agent vs ceaser/skew/partition)")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	scale := flag.Float64("scale", 1.0, "training budget scale (1.0 = full)")
 	runs := flag.Int("runs", 1, "training replicates for averaged tables")
@@ -107,9 +108,14 @@ func main() {
 		run("Table VIII (+ Figure 3)", exp.TableVIII)
 		run("Table IX", exp.TableIX)
 		run("Table X", exp.TableX)
+		run("Defense bypass", exp.TableDefenses)
 		run("Figure 4", exp.Figure4)
 		run("Figure 5", exp.Figure5)
 		run("Search vs RL (§VI-A)", exp.SearchVsRL)
+		return
+	}
+	if *defenses {
+		run("Defense bypass", exp.TableDefenses)
 		return
 	}
 	switch *table {

@@ -50,7 +50,8 @@ func main() {
 	attackers := fs.String("attackers", "0-3", "comma-separated attacker address ranges (lo-hi)")
 	victims := fs.String("victims", "0-0", "comma-separated victim address ranges (lo-hi)")
 	detectors := fs.String("detectors", "", "comma-separated detectors (none,missbased,cchunter)")
-	defenses := fs.String("defenses", "", "comma-separated defenses (none,plcache)")
+	defenses := fs.String("defenses", "", "comma-separated defenses (none,plcache,ceaser,skew,partition)")
+	rekeyPeriods := fs.String("rekey-periods", "", "comma-separated CEASER rekey periods in accesses (e.g. 0,64; parameterizes the ceaser defense only)")
 	stepRewards := fs.String("step-rewards", "", "comma-separated step-reward axis (e.g. -0.02,-0.01)")
 	seeds := fs.String("seeds", "1", "comma-separated seed axis")
 	flush := fs.Bool("flush", true, "enable the flush instruction")
@@ -66,7 +67,8 @@ func main() {
 		policies: *policies, prefetchers: *prefetchers,
 		attackers: *attackers, victims: *victims,
 		detectors: *detectors, defenses: *defenses,
-		stepRewards: *stepRewards, seeds: *seeds,
+		rekeyPeriods: *rekeyPeriods,
+		stepRewards:  *stepRewards, seeds: *seeds,
 		flush: *flush, noAccess: *noAccess,
 		window: *window, warmup: *warmup, epochs: *epochs, steps: *steps,
 	})
@@ -121,6 +123,7 @@ type gridFlags struct {
 	policies, prefetchers         string
 	attackers, victims            string
 	detectors, defenses           string
+	rekeyPeriods                  string
 	stepRewards, seeds            string
 	flush, noAccess               bool
 	window, warmup, epochs, steps int
@@ -173,6 +176,13 @@ func buildSpec(path string, g gridFlags) (autocat.CampaignSpec, error) {
 			d = ""
 		}
 		spec.Defenses = append(spec.Defenses, d)
+	}
+	for _, s := range splitCSV(g.rekeyPeriods) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return spec, fmt.Errorf("-rekey-periods: %w", err)
+		}
+		spec.RekeyPeriods = append(spec.RekeyPeriods, v)
 	}
 	for _, s := range splitCSV(g.stepRewards) {
 		v, err := strconv.ParseFloat(s, 64)

@@ -61,6 +61,39 @@ func StepHot(b *testing.B) {
 	}
 }
 
+// DefendedEnvConfig is HotEnvConfig hardened with the CEASER keyed
+// remap at a short rekey period — the most expensive defended lookup
+// path (every access maps through the keyed permutation and the loop
+// crosses many rekey migrations). The defended_step_ns metric in
+// BENCH_hotpath.json tracks this loop.
+func DefendedEnvConfig() env.Config {
+	cfg := HotEnvConfig()
+	cfg.Cache.Defense = cache.DefenseConfig{Kind: cache.DefenseCEASER, RekeyPeriod: 64}
+	cfg.Cache.AddrSpace = 8
+	return cfg
+}
+
+// StepHotDefended is StepHot on the defended environment; steady state
+// must also be 0 allocs/op, rekeys included.
+func StepHotDefended(b *testing.B) {
+	e := mustEnv(b, DefendedEnvConfig())
+	obs := make([]float64, e.ObsDim())
+	b.ReportAllocs()
+	e.ResetInto(obs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var action int
+		if i%5 == 4 {
+			action = e.VictimAction()
+		} else {
+			action = e.AccessAction(cache.Addr(i & 3))
+		}
+		if _, done := e.StepInto(action, obs); done {
+			e.ResetInto(obs)
+		}
+	}
+}
+
 // PPOEpochSteps is the per-epoch step budget of the PPOEpoch benchmark.
 const PPOEpochSteps = 2048
 

@@ -65,6 +65,17 @@ type Cache struct {
 
 	prefetch prefetcher
 
+	// Index-mapping defense state (see defense.go). defense caches
+	// cfg.Defense.Kind for branch-cheap hot-path dispatch; mapper is nil
+	// unless the kind is CEASER or skew.
+	defense     DefenseKind
+	mapper      *indexMapper
+	skewRng     *rand.Rand // skew victim-way selection stream
+	victimWays  int        // partition: ways [0,victimWays) are victim-only; 0 = unpartitioned
+	rekeyPeriod int        // ceaser: demand accesses per key epoch; 0 = never
+	sinceRekey  int        // demand accesses since the last rekey
+	migScratch  []migrant  // rekey migration scratch
+
 	// Reusable scratch for allocation-free Access: eviction records,
 	// prefetch candidates, and the eviction-eligibility mask.
 	evScratch []Eviction
@@ -102,8 +113,30 @@ func New(cfg Config) *Cache {
 		}
 		c.mapping = rand.New(rand.NewSource(cfg.Seed + 0x3ab)).Perm(n)
 	}
+	c.defense = cfg.Defense.Kind
+	switch c.defense {
+	case DefenseCEASER:
+		c.mapper = newIndexMapper(c.mapperWindow(), 1, cfg.Seed)
+		c.rekeyPeriod = cfg.Defense.RekeyPeriod
+		c.migScratch = make([]migrant, 0, c.nsets*c.ways)
+	case DefenseSkew:
+		c.mapper = newIndexMapper(c.mapperWindow(), c.ways, cfg.Seed)
+		c.skewRng = rand.New(rand.NewSource(cfg.Seed + 0x5ca7))
+	case DefensePartition:
+		c.victimWays = cfg.Defense.VictimWays
+	}
 	c.prefetch = newPrefetcher(cfg.Prefetcher, cfg.AddrSpace)
 	return c
+}
+
+// mapperWindow is the address window the keyed index functions cover:
+// the same window RandomMapping uses, [0, AddrSpace) or the default
+// [0, 4×NumBlocks).
+func (c *Cache) mapperWindow() int {
+	if c.cfg.AddrSpace != 0 {
+		return c.cfg.AddrSpace
+	}
+	return 4 * c.cfg.NumBlocks
 }
 
 // Config returns the configuration the cache was built with (with defaults
@@ -122,6 +155,9 @@ func (c *Cache) setIndex(a Addr) int {
 			panic(fmt.Sprintf("cache: address %d outside the random-mapping window [0,%d); set AddrSpace to cover every address", x, len(c.mapping)))
 		}
 		x = c.mapping[x]
+	}
+	if c.defense == DefenseCEASER {
+		x = c.mapper.mapped(x, 0)
 	}
 	n := c.nsets
 	return ((x % n) + n) % n
@@ -148,6 +184,16 @@ func (c *Cache) lookup(si int, a Addr) int {
 // charged latency, and all evictions caused (including prefetch fills).
 // The returned slices alias cache-owned scratch; see Result.
 func (c *Cache) Access(a Addr, dom Domain) Result {
+	if c.rekeyPeriod > 0 {
+		// CEASER epoch boundary: after every RekeyPeriod demand accesses
+		// the key is redrawn before the next access proceeds, so the
+		// access itself already sees the new mapping.
+		if c.sinceRekey >= c.rekeyPeriod {
+			c.rekeyNow()
+			c.sinceRekey = 0
+		}
+		c.sinceRekey++
+	}
 	c.evScratch = c.evScratch[:0]
 	res := c.demand(a, dom)
 	pf := c.prefetch.after(a, c.pfScratch[:0])
@@ -172,6 +218,14 @@ func (c *Cache) Access(a Addr, dom Domain) Result {
 // demand performs the access itself without prefetching, appending any
 // eviction to the scratch buffer.
 func (c *Cache) demand(a Addr, dom Domain) Result {
+	if c.defense == DefenseSkew {
+		if w, si := c.skewFind(a); w >= 0 {
+			c.policy.OnHit(si, w)
+			return Result{Hit: true, Latency: c.cfg.HitLatency}
+		}
+		c.installSkew(a, dom)
+		return Result{Hit: false, Latency: c.cfg.MissLatency}
+	}
 	si := c.setIndex(a)
 	if w := c.lookup(si, a); w >= 0 {
 		c.policy.OnHit(si, w)
@@ -184,6 +238,12 @@ func (c *Cache) demand(a Addr, dom Domain) Result {
 // fillOnly installs addr as a prefetch: a hit refreshes nothing (hardware
 // prefetchers do not promote on hit in this model), a miss fills the line.
 func (c *Cache) fillOnly(a Addr, dom Domain) {
+	if c.defense == DefenseSkew {
+		if w, _ := c.skewFind(a); w < 0 {
+			c.installSkew(a, dom)
+		}
+		return
+	}
 	si := c.setIndex(a)
 	if c.lookup(si, a) >= 0 {
 		return
@@ -193,11 +253,15 @@ func (c *Cache) fillOnly(a Addr, dom Domain) {
 
 // install places addr into set si, evicting if needed; a real displacement
 // is appended to the eviction scratch. It reports whether the fill
-// happened at all (false when every way is locked).
+// happened at all (false when every way is locked, or when the domain's
+// way partition is fully locked). Under DefensePartition both the
+// invalid-way scan and the eviction eligibility mask are confined to
+// dom's ways, so one domain can never displace the other's lines.
 func (c *Cache) install(si int, a Addr, dom Domain) bool {
 	s := c.set(si)
+	lo, hi := c.allowedWays(dom)
 	// Prefer an invalid way (displaces nothing).
-	for w := range s {
+	for w := lo; w < hi; w++ {
 		if !s[w].valid {
 			s[w] = line{valid: true, addr: a, domain: dom}
 			c.policy.OnFill(si, w)
@@ -207,7 +271,7 @@ func (c *Cache) install(si int, a Addr, dom Domain) bool {
 	el := c.elScratch
 	any := false
 	for w := range s {
-		el[w] = !s[w].locked
+		el[w] = w >= lo && w < hi && !s[w].locked
 		any = any || el[w]
 	}
 	if !any {
@@ -232,6 +296,14 @@ func (c *Cache) install(si int, a Addr, dom Domain) bool {
 // only protected from the attacker's *eviction*, and the environment
 // never exposes flush in PL-cache experiments).
 func (c *Cache) Flush(a Addr) bool {
+	if c.defense == DefenseSkew {
+		w, si := c.skewFind(a)
+		if w < 0 {
+			return false
+		}
+		c.lines[si*c.ways+w] = line{}
+		return true
+	}
 	si := c.setIndex(a)
 	w := c.lookup(si, a)
 	if w < 0 {
@@ -245,6 +317,17 @@ func (c *Cache) Flush(a Addr) bool {
 // first installed for dom. A locked line is never chosen as an eviction
 // victim.
 func (c *Cache) Lock(a Addr, dom Domain) {
+	if c.defense == DefenseSkew {
+		w, si := c.skewFind(a)
+		if w < 0 {
+			if !c.installSkew(a, dom) {
+				return // every candidate way locked; nothing to pin
+			}
+			w, si = c.skewFind(a)
+		}
+		c.lines[si*c.ways+w].locked = true
+		return
+	}
 	si := c.setIndex(a)
 	w := c.lookup(si, a)
 	if w < 0 {
@@ -259,6 +342,12 @@ func (c *Cache) Lock(a Addr, dom Domain) {
 
 // Unlock clears the lock bit of addr if it is resident.
 func (c *Cache) Unlock(a Addr) {
+	if c.defense == DefenseSkew {
+		if w, si := c.skewFind(a); w >= 0 {
+			c.lines[si*c.ways+w].locked = false
+		}
+		return
+	}
 	si := c.setIndex(a)
 	if w := c.lookup(si, a); w >= 0 {
 		c.set(si)[w].locked = false
@@ -268,12 +357,24 @@ func (c *Cache) Unlock(a Addr) {
 // Contains reports whether addr is resident, without touching replacement
 // state (a "tag probe" used by tests and the attack classifier).
 func (c *Cache) Contains(a Addr) bool {
+	if c.defense == DefenseSkew {
+		w, _ := c.skewFind(a)
+		return w >= 0
+	}
 	si := c.setIndex(a)
 	return c.lookup(si, a) >= 0
 }
 
-// SetOf returns the set index addr maps to.
-func (c *Cache) SetOf(a Addr) int { return c.setIndex(a) }
+// SetOf returns the set index addr maps to. Under DefenseSkew there is
+// no single set — each way has its own index function — so SetOf reports
+// the way-0 set, a stable representative that detectors can still use
+// to coarsely group conflicting accesses.
+func (c *Cache) SetOf(a Addr) int {
+	if c.defense == DefenseSkew {
+		return c.skewSet(a, 0)
+	}
+	return c.setIndex(a)
+}
 
 // LineView is a read-only snapshot of one way for inspection and diagrams.
 type LineView struct {
@@ -300,7 +401,12 @@ func (c *Cache) PolicyState(si int) []int { return c.policy.State(si) }
 // Reset invalidates every line, clears lock bits, resets replacement state
 // and the prefetcher. The random policy's RNG stream is NOT reset, so
 // consecutive episodes see fresh randomness (a new seed requires a new
-// cache).
+// cache). The defense key schedule follows the same rule: the current
+// CEASER key, the key-derivation stream, AND the rekey access counter
+// all persist across Reset — hardware rekeys on wall-clock access
+// counts, not on the attacker's episode boundaries, so episodes shorter
+// than the rekey period still face a mapping that drifts between (and
+// within) episodes rather than a silently static key.
 func (c *Cache) Reset() {
 	for i := range c.lines {
 		c.lines[i] = line{}

@@ -79,7 +79,15 @@ type Config struct {
 	// accessing an address outside the window panics instead of silently
 	// bypassing the permutation.
 	RandomMapping bool
-	// Seed drives the random replacement policy and the random mapping.
+	// Defense optionally hardens the set-lookup path with an
+	// index-mapping or partitioning defense (CEASER-style keyed
+	// rekeying, ScatterCache-style skewed multi-hash, or DAWG/CAT-style
+	// way partitioning); see DefenseConfig. The zero value is the
+	// undefended baseline and is omitted from JSON so that campaign job
+	// IDs of pre-defense scenarios are unchanged.
+	Defense DefenseConfig `json:",omitzero"`
+	// Seed drives the random replacement policy, the random mapping, and
+	// the defense key schedule.
 	Seed int64
 	// HitLatency and MissLatency are the cycle costs reported by Access,
 	// used by the covert-channel timing model. Zero values default to 4
@@ -126,6 +134,9 @@ func (c Config) Validate() error {
 			w /= 2
 		}
 	}
+	if err := c.Defense.validate(c); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -142,6 +153,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MissLatency == 0 {
 		c.MissLatency = 100
+	}
+	if c.Defense.Kind == DefensePartition && c.Defense.VictimWays == 0 {
+		c.Defense.VictimWays = c.NumWays / 2
 	}
 	return c
 }

@@ -1,0 +1,263 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"autocat/internal/cache"
+)
+
+// defenseSpec is the base grid the defense-axis tests expand: 2 ways so
+// partitioning is valid, one geometry, one seed unless overridden.
+func defenseSpec(defenses []string, rekeys []int, seeds ...int64) Spec {
+	return Spec{
+		Name:         "test-defense-grid",
+		Caches:       []cache.Config{{NumBlocks: 4, NumWays: 2}},
+		Attackers:    []AddrRange{{Lo: 2, Hi: 5}},
+		Victims:      []AddrRange{{Lo: 0, Hi: 1}},
+		Defenses:     defenses,
+		RekeyPeriods: rekeys,
+		Seeds:        seeds,
+		WindowSize:   10,
+		Epochs:       20,
+	}
+}
+
+func TestExpandDefenseAxis(t *testing.T) {
+	cases := []struct {
+		name     string
+		spec     Spec
+		jobs     int
+		skipped  int
+		contains []string // substrings expected among job names
+	}{
+		{
+			// rekey parameterizes only ceaser: none/skew/partition points
+			// collapse across the 2 rekey values by ID dedup, ceaser keeps
+			// both. 1 + 2 + 1 + 1 = 5.
+			name: "full defense axis with rekey periods",
+			spec: defenseSpec(
+				[]string{DefenseNone, DefenseCEASER, DefenseSkew, DefensePartition},
+				[]int{0, 64}, 1),
+			jobs:     5,
+			skipped:  0,
+			contains: []string{"/ceaser/", "/ceaser-rk64/", "/skew/", "/partition/"},
+		},
+		{
+			name:    "unknown defense skipped not fatal",
+			spec:    defenseSpec([]string{DefenseNone, "moat"}, nil, 1),
+			jobs:    1,
+			skipped: 1,
+		},
+		{
+			name:    "negative rekey period skipped",
+			spec:    defenseSpec([]string{DefenseCEASER}, []int{-5, 16}, 1),
+			jobs:    1,
+			skipped: 1,
+		},
+		{
+			name: "partition needs 2 ways",
+			spec: func() Spec {
+				s := defenseSpec([]string{DefensePartition}, nil, 1)
+				s.Caches = []cache.Config{{NumBlocks: 4, NumWays: 1}}
+				return s
+			}(),
+			jobs:    0,
+			skipped: 1,
+		},
+		{
+			name: "defended seeds replicate",
+			spec: defenseSpec([]string{DefenseCEASER}, []int{32}, 1, 2, 3),
+			jobs: 3,
+		},
+		{
+			// PL-cache rides the same axis unchanged next to the new kinds.
+			name:     "plcache coexists",
+			spec:     defenseSpec([]string{DefensePLCache, DefenseSkew}, nil, 1),
+			jobs:     2,
+			contains: []string{"/plcache/", "/skew/"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			jobs, skipped, err := tc.spec.Expand()
+			if tc.jobs == 0 {
+				if err == nil {
+					t.Fatal("zero-job expansion must error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(jobs) != tc.jobs {
+				names := make([]string, len(jobs))
+				for i, j := range jobs {
+					names[i] = j.Scenario.Name
+				}
+				t.Fatalf("expanded to %d jobs, want %d: %v", len(jobs), tc.jobs, names)
+			}
+			if skipped != tc.skipped {
+				t.Fatalf("skipped %d grid points, want %d", skipped, tc.skipped)
+			}
+			for _, j := range jobs {
+				if err := j.Scenario.Env.Validate(); err != nil {
+					t.Fatalf("job %s invalid: %v", j.Scenario.Name, err)
+				}
+			}
+			for _, want := range tc.contains {
+				found := false
+				for _, j := range jobs {
+					if strings.Contains(j.Scenario.Name+"/", want) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("no job name contains %q", want)
+				}
+			}
+		})
+	}
+}
+
+// TestExpandDefenseWiring checks the grid actually configures the cache:
+// the defense kind, rekey period, and the keyed-mapping address window
+// land in the scenario's cache config.
+func TestExpandDefenseWiring(t *testing.T) {
+	jobs, _, err := defenseSpec(
+		[]string{DefenseCEASER, DefenseSkew, DefensePartition, DefensePLCache},
+		[]int{48}, 1).Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDef := map[cache.DefenseKind]Scenario{}
+	plcache := false
+	for _, j := range jobs {
+		sc := j.Scenario
+		if sc.Env.LockVictimLines {
+			plcache = true
+			continue
+		}
+		byDef[sc.Env.Cache.Defense.Kind] = sc
+	}
+	if !plcache {
+		t.Fatal("plcache grid point lost LockVictimLines")
+	}
+	ce, ok := byDef[cache.DefenseCEASER]
+	if !ok || ce.Env.Cache.Defense.RekeyPeriod != 48 {
+		t.Fatalf("ceaser point missing or rekey period wrong: %+v", ce.Env.Cache.Defense)
+	}
+	if ce.Env.Cache.AddrSpace != 6 {
+		t.Fatalf("ceaser window = %d, want maxAddr+1 = 6", ce.Env.Cache.AddrSpace)
+	}
+	sk, ok := byDef[cache.DefenseSkew]
+	if !ok || sk.Env.Cache.Defense.RekeyPeriod != 0 {
+		t.Fatalf("skew point missing or rekey leaked into it: %+v", sk.Env.Cache.Defense)
+	}
+	if _, ok := byDef[cache.DefensePartition]; !ok {
+		t.Fatal("partition point missing")
+	}
+}
+
+// TestDefendedJobIDStability pins the catalog-key contract: the same
+// scenario hashes to the same ID across expansions (what resume relies
+// on), defended scenarios get distinct IDs per defense parameterization,
+// and — critically for old checkpoints — an undefended cache config
+// marshals without any Defense key, so pre-defense job IDs are unchanged.
+func TestDefendedJobIDStability(t *testing.T) {
+	spec := defenseSpec(
+		[]string{DefenseNone, DefenseCEASER, DefenseSkew, DefensePartition},
+		[]int{0, 32}, 1, 2)
+	a, _, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, _ := spec.Expand()
+	if len(a) != len(b) {
+		t.Fatalf("expansion size changed across runs: %d vs %d", len(a), len(b))
+	}
+	ids := map[string]string{}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("job %d ID changed across expansions: %s vs %s", i, a[i].ID, b[i].ID)
+		}
+		if prev, dup := ids[a[i].ID]; dup {
+			t.Fatalf("jobs %q and %q share ID %s", prev, a[i].Scenario.Name, a[i].ID)
+		}
+		ids[a[i].ID] = a[i].Scenario.Name
+	}
+
+	blob, err := json.Marshal(cache.Config{NumBlocks: 4, NumWays: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(blob), "Defense") {
+		t.Fatalf("undefended cache config marshals a Defense key — this changes every pre-defense job ID: %s", blob)
+	}
+	blob, _ = json.Marshal(cache.Config{NumBlocks: 4, NumWays: 2, Seed: 1,
+		Defense: cache.DefenseConfig{Kind: cache.DefenseSkew}})
+	if !strings.Contains(string(blob), "Defense") {
+		t.Fatalf("defended config lost its Defense key: %s", blob)
+	}
+}
+
+// TestResumeDefendedCampaign interrupts a defended sweep mid-flight and
+// resumes it: defended job IDs must round-trip through the checkpoint so
+// no defended job re-runs or is lost.
+func TestResumeDefendedCampaign(t *testing.T) {
+	spec := defenseSpec(
+		[]string{DefenseNone, DefenseCEASER, DefenseSkew, DefensePartition},
+		[]int{0, 24}, 1)
+	jobs, _, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(jobs) // 5: none, ceaser, ceaser-rk24, skew, partition
+	if total != 5 {
+		t.Fatalf("defended grid expanded to %d jobs, want 5", total)
+	}
+	ckpt := filepath.Join(t.TempDir(), "campaign.jsonl")
+
+	var mu sync.Mutex
+	var n int32
+	ctx, cancel := context.WithCancel(context.Background())
+	inner := stubRunner(&n, &mu)
+	_, err = Run(ctx, spec, RunConfig{
+		Workers:    1,
+		Checkpoint: ckpt,
+		Runner: func(ctx2 context.Context, job Job) JobResult {
+			jr := inner(ctx2, job)
+			mu.Lock()
+			if n >= 2 {
+				cancel()
+			}
+			mu.Unlock()
+			return jr
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled defended campaign should return the context error")
+	}
+
+	var resumed int32
+	res, err := Run(context.Background(), spec, RunConfig{
+		Workers: 2, Checkpoint: ckpt, Resume: true,
+		Runner: stubRunner(&resumed, &mu),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed != 2 || res.Completed != total-2 {
+		t.Fatalf("resumed %d / completed %d, want 2/%d", res.Resumed, res.Completed, total-2)
+	}
+	for _, jr := range res.Jobs {
+		if jr.JobID == "" {
+			t.Fatalf("defended job %q never ran", jr.Name)
+		}
+	}
+}

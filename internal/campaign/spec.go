@@ -38,10 +38,15 @@ const (
 
 // Defense kinds accepted by Spec.Defenses. The empty string is the
 // undefended baseline; "plcache" locks the victim's lines (the PL-cache
-// defense of §V-D).
+// defense of §V-D); "ceaser", "skew", and "partition" select the
+// index-mapping defenses of cache.DefenseConfig (keyed rekeying, skewed
+// multi-hash, and way partitioning).
 const (
-	DefenseNone    = ""
-	DefensePLCache = "plcache"
+	DefenseNone      = ""
+	DefensePLCache   = "plcache"
+	DefenseCEASER    = string(cache.DefenseCEASER)
+	DefenseSkew      = string(cache.DefenseSkew)
+	DefensePartition = string(cache.DefensePartition)
 )
 
 // Scenario is one fully specified exploration job: an environment, a
@@ -94,8 +99,14 @@ type Spec struct {
 	// Detectors is the detector axis (DetectorNone, DetectorMissBased,
 	// DetectorCCHunter).
 	Detectors []string `json:"detectors,omitempty"`
-	// Defenses is the defense axis (DefenseNone, DefensePLCache).
+	// Defenses is the defense axis (DefenseNone, DefensePLCache,
+	// DefenseCEASER, DefenseSkew, DefensePartition).
 	Defenses []string `json:"defenses,omitempty"`
+	// RekeyPeriods is the CEASER rekey-period axis, crossed with the
+	// defense axis. It parameterizes only DefenseCEASER grid points;
+	// for every other defense the period is ignored, so those points
+	// collapse into one job via ID dedup instead of multiplying.
+	RekeyPeriods []int `json:"rekey_periods,omitempty"`
 	// StepRewards is the per-action penalty axis (Table VI); zero values
 	// select the default -0.01.
 	StepRewards []float64 `json:"step_rewards,omitempty"`
@@ -181,6 +192,7 @@ func (s Spec) Expand() (jobs []Job, skipped int, err error) {
 	victims := axis(s.Victims, AddrRange{})
 	detectors := axis(s.Detectors, DetectorNone)
 	defenses := axis(s.Defenses, DefenseNone)
+	rekeys := axis(s.RekeyPeriods, 0)
 	stepRewards := axis(s.StepRewards, 0)
 	seeds := axis(s.Seeds, 1)
 
@@ -205,15 +217,17 @@ func (s Spec) Expand() (jobs []Job, skipped int, err error) {
 					for _, vic := range victims {
 						for _, det := range detectors {
 							for _, def := range defenses {
-								for _, step := range stepRewards {
-									for _, seed := range seeds {
-										sc, ok := s.gridScenario(base, pol, pf, att, vic, det, def, step, seed)
-										if !ok {
-											skipped++
-											continue
-										}
-										if err := add(sc); err != nil {
-											return nil, 0, err
+								for _, rekey := range rekeys {
+									for _, step := range stepRewards {
+										for _, seed := range seeds {
+											sc, ok := s.gridScenario(base, pol, pf, att, vic, det, def, rekey, step, seed)
+											if !ok {
+												skipped++
+												continue
+											}
+											if err := add(sc); err != nil {
+												return nil, 0, err
+											}
 										}
 									}
 								}
@@ -236,9 +250,11 @@ func (s Spec) Expand() (jobs []Job, skipped int, err error) {
 }
 
 // gridScenario assembles one cross-product point, reporting ok=false
-// when the combination is structurally invalid.
+// when the combination is structurally invalid. rekey parameterizes
+// only the CEASER defense; other defenses ignore it (the identical
+// scenarios it produces dedup by job ID in Expand).
 func (s Spec) gridScenario(base cache.Config, pol cache.PolicyKind, pf cache.PrefetcherKind,
-	att, vic AddrRange, det, def string, stepReward float64, seed int64) (Scenario, bool) {
+	att, vic AddrRange, det, def string, rekey int, stepReward float64, seed int64) (Scenario, bool) {
 	cc := base
 	if pol != "" {
 		cc.Policy = pol
@@ -255,8 +271,27 @@ func (s Spec) gridScenario(base cache.Config, pol cache.PolicyKind, pf cache.Pre
 		// actually touch, as in the paper's Table IV row 2 setup.
 		cc.AddrSpace = maxAddr + 1
 	}
+	switch def {
+	case DefenseCEASER:
+		cc.Defense = cache.DefenseConfig{Kind: cache.DefenseCEASER, RekeyPeriod: rekey}
+	case DefenseSkew:
+		cc.Defense = cache.DefenseConfig{Kind: cache.DefenseSkew}
+	case DefensePartition:
+		cc.Defense = cache.DefenseConfig{Kind: cache.DefensePartition}
+	}
+	if cc.Defense.Kind == cache.DefenseCEASER || cc.Defense.Kind == cache.DefenseSkew {
+		if cc.AddrSpace == 0 {
+			// The keyed mappings panic on out-of-window addresses, so the
+			// window must cover everything the programs (and warm-up)
+			// touch, mirroring env.New's AddrSpace defaulting.
+			cc.AddrSpace = maxAddr + 1
+		}
+	}
 	cc.Seed = seed
 	if cc.Validate() != nil {
+		return Scenario{}, false
+	}
+	if rekey < 0 {
 		return Scenario{}, false
 	}
 
@@ -285,7 +320,7 @@ func (s Spec) gridScenario(base cache.Config, pol cache.PolicyKind, pf cache.Pre
 		return Scenario{}, false
 	}
 	switch def {
-	case DefenseNone, DefensePLCache:
+	case DefenseNone, DefensePLCache, DefenseCEASER, DefenseSkew, DefensePartition:
 	default:
 		return Scenario{}, false
 	}
@@ -303,6 +338,9 @@ func (s Spec) gridScenario(base cache.Config, pol cache.PolicyKind, pf cache.Pre
 	}
 	if def != DefenseNone {
 		name += "/" + def
+		if def == DefenseCEASER && rekey > 0 {
+			name += fmt.Sprintf("-rk%d", rekey)
+		}
 	}
 	if stepReward != 0 {
 		name += fmt.Sprintf("/step%g", stepReward)

@@ -245,6 +245,28 @@ func TestGoldenEnvSteps(t *testing.T) {
 			AttackerLo: 0, AttackerHi: 3, VictimLo: 0, VictimHi: 1,
 			WindowSize: 10, EpisodeSteps: 24, LockVictimLines: true, Seed: 15,
 		}},
+		// Defended configurations (index-mapping defense suite). The
+		// ceaser case's rekey period is deliberately small: the 300-step
+		// stream crosses many key epochs, pinning the rekey-boundary
+		// migrate/invalidate behavior bit-for-bit.
+		{"ceaser_rekey", env.Config{
+			Cache: cache.Config{NumBlocks: 4, NumWays: 2, Policy: cache.LRU, AddrSpace: 8,
+				Defense: cache.DefenseConfig{Kind: cache.DefenseCEASER, RekeyPeriod: 24}, Seed: 16},
+			AttackerLo: 0, AttackerHi: 3, VictimLo: 4, VictimHi: 5,
+			FlushEnable: true, WindowSize: 10, Seed: 16,
+		}},
+		{"skew", env.Config{
+			Cache: cache.Config{NumBlocks: 8, NumWays: 4, Policy: cache.PLRU, AddrSpace: 16,
+				Defense: cache.DefenseConfig{Kind: cache.DefenseSkew}, Seed: 17},
+			AttackerLo: 0, AttackerHi: 5, VictimLo: 6, VictimHi: 7,
+			VictimNoAccess: true, WindowSize: 12, Seed: 17,
+		}},
+		{"partition", env.Config{
+			Cache: cache.Config{NumBlocks: 8, NumWays: 4, Policy: cache.RRIP,
+				Defense: cache.DefenseConfig{Kind: cache.DefensePartition, VictimWays: 2}, Seed: 18},
+			AttackerLo: 0, AttackerHi: 5, VictimLo: 0, VictimHi: 1,
+			VictimNoAccess: true, WindowSize: 10, Seed: 18,
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -155,6 +155,32 @@ func TestTableSpecsWellFormed(t *testing.T) {
 	}
 }
 
+func TestDefenseBypassSpecWellFormed(t *testing.T) {
+	jobs, skipped, err := DefenseBypassSpec(Options{Scale: 0.5, Seed: 1}).Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("defense-bypass grid skipped %d points, want 0", skipped)
+	}
+	// none + ceaser×len(rekeys) + skew + partition.
+	if want := 3 + len(defenseBypassRekeys); len(jobs) != want {
+		t.Fatalf("defense-bypass spec: %d jobs, want %d", len(jobs), want)
+	}
+	labels := map[string]bool{}
+	for _, j := range jobs {
+		if err := j.Scenario.Env.Validate(); err != nil {
+			t.Fatalf("job %s invalid: %v", j.Scenario.Name, err)
+		}
+		labels[defenseLabel(j.Scenario)] = true
+	}
+	for _, want := range []string{"none", "ceaser static", "ceaser rk=50", "skew", "partition"} {
+		if !labels[want] {
+			t.Fatalf("defense-bypass grid missing the %q cell (have %v)", want, labels)
+		}
+	}
+}
+
 func TestTextbookTraceAlternatesDomains(t *testing.T) {
 	tr := textbookTrace(1, 5)
 	if len(tr) != 25 {

@@ -16,12 +16,27 @@ import (
 // pool size) must never change the math. The gradient reduction
 // grouping (PPOConfig.Workers) stays fixed — it is part of the math.
 func TestEpochStatsKernelWorkerInvariance(t *testing.T) {
+	epochStatsInvariance(t, cache.Config{NumBlocks: 2, NumWays: 2, Policy: cache.LRU})
+}
+
+// TestEpochStatsKernelWorkerInvarianceDefended repeats the invariance
+// check with an index-mapping defense on the cache hot path: the CEASER
+// rekey schedule (period 64 — many epochs per rollout) must be driven
+// purely by per-env access counts, never by scheduling.
+func TestEpochStatsKernelWorkerInvarianceDefended(t *testing.T) {
+	epochStatsInvariance(t, cache.Config{
+		NumBlocks: 2, NumWays: 2, Policy: cache.LRU,
+		Defense: cache.DefenseConfig{Kind: cache.DefenseCEASER, RekeyPeriod: 64},
+	})
+}
+
+func epochStatsInvariance(t *testing.T, cc cache.Config) {
 	defer nn.SetKernelWorkers(runtime.GOMAXPROCS(0))
 	run := func() []EpochStats {
 		var envs []*env.Env
 		for i := 0; i < 2; i++ {
 			cfg := env.Config{
-				Cache:      cache.Config{NumBlocks: 2, NumWays: 2, Policy: cache.LRU},
+				Cache:      cc,
 				AttackerLo: 1, AttackerHi: 2,
 				VictimLo: 0, VictimHi: 0,
 				FlushEnable:    true,
@@ -30,6 +45,7 @@ func TestEpochStatsKernelWorkerInvariance(t *testing.T) {
 				Warmup:         -1,
 				Seed:           31 + int64(i)*7919,
 			}
+			cfg.Cache.Seed = cfg.Seed
 			e, err := env.New(cfg)
 			if err != nil {
 				t.Fatal(err)
