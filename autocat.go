@@ -218,8 +218,24 @@ type (
 	ExploreConfig = core.Config
 	// ExploreResult is the outcome: attack sequence, category, stats.
 	ExploreResult = core.Result
-	// Explorer owns the environments, network, and trainer of one run.
+	// Explorer is the pluggable exploration-backend interface: a
+	// configuration in, a replayable attack out.
 	Explorer = core.Explorer
+	// ExplorerKind names an exploration backend (ppo, search, probe).
+	ExplorerKind = core.ExplorerKind
+	// PPOExplorer owns the environments, network, and trainer of one
+	// training run (the concrete type behind the PPO backend).
+	PPOExplorer = core.PPOExplorer
+	// PPOBackendOptions parameterizes the training backend.
+	PPOBackendOptions = core.PPOBackendOptions
+	// SearchBackendOptions parameterizes the budgeted prefix-search
+	// backend.
+	SearchBackendOptions = core.SearchBackendOptions
+	// ProbeBackendOptions parameterizes the scripted-agent prober.
+	ProbeBackendOptions = core.ProbeBackendOptions
+	// ReplaySpec is the deterministic evaluation recipe an artifact
+	// stores: replaying it reproduces the recorded attack bit-for-bit.
+	ReplaySpec = core.ReplaySpec
 	// Backbone selects the policy architecture.
 	Backbone = core.Backbone
 )
@@ -230,12 +246,32 @@ const (
 	BackboneTransformer = core.Transformer
 )
 
+// Exploration backends.
+const (
+	ExplorerPPO    = core.ExplorerPPO
+	ExplorerSearch = core.ExplorerSearch
+	ExplorerProbe  = core.ExplorerProbe
+)
+
 // Explore trains an agent on the configuration, extracts the attack
 // sequence by deterministic replay, and classifies it.
 func Explore(cfg ExploreConfig) (*ExploreResult, error) { return core.Explore(cfg) }
 
-// NewExplorer builds an explorer without running it.
-func NewExplorer(cfg ExploreConfig) (*Explorer, error) { return core.New(cfg) }
+// NewExplorer builds a PPO explorer without running it.
+func NewExplorer(cfg ExploreConfig) (*PPOExplorer, error) { return core.New(cfg) }
+
+// NewPPOBackend, NewSearchBackend and NewProbeBackend build the three
+// exploration backends behind the Explorer interface.
+func NewPPOBackend(opts PPOBackendOptions) Explorer       { return core.NewPPOBackend(opts) }
+func NewSearchBackend(opts SearchBackendOptions) Explorer { return core.NewSearchBackend(opts) }
+func NewProbeBackend(opts ProbeBackendOptions) Explorer   { return core.NewProbeBackend(opts) }
+
+// ReplayExploration reruns a stored replay recipe against a fresh
+// environment built from cfg, reproducing the recorded evaluation
+// bit-for-bit.
+func ReplayExploration(spec ReplaySpec, cfg EnvConfig) (*ExploreResult, error) {
+	return core.Replay(spec, cfg)
+}
 
 // Detection surface (internal/detect, internal/svm, internal/trace).
 type (
@@ -370,7 +406,43 @@ type (
 	Catalog = campaign.Catalog
 	// CatalogEntry is one deduplicated attack with aggregate stats.
 	CatalogEntry = campaign.Entry
+	// CampaignRunnerOptions configures the explorer runner (scale,
+	// artifact store, cheap-backend budgets).
+	CampaignRunnerOptions = campaign.RunnerOptions
+	// Artifact is one persisted, content-addressed attack discovery.
+	Artifact = campaign.Artifact
+	// ArtifactStore is the append-only artifact directory.
+	ArtifactStore = campaign.ArtifactStore
+	// ArtifactReplayReport is the outcome of verifying one artifact.
+	ArtifactReplayReport = campaign.ReplayReport
+	// CampaignStagedResult is a completed staged-escalation campaign.
+	CampaignStagedResult = campaign.StagedResult
+	// CampaignStageResult is one escalation stage's outcome.
+	CampaignStageResult = campaign.StageResult
 )
+
+// Campaign explorer-axis values (CampaignSpec.Explorers and
+// CampaignScenario.Explorer); "" and "ppo" select the default training
+// backend.
+const (
+	CampaignExplorerDefault = campaign.ExplorerDefault
+	CampaignExplorerPPO     = campaign.ExplorerPPO
+	CampaignExplorerSearch  = campaign.ExplorerSearch
+	CampaignExplorerProbe   = campaign.ExplorerProbe
+)
+
+// OpenArtifactStore creates (or reopens) a content-addressed attack
+// artifact directory.
+func OpenArtifactStore(dir string) (*ArtifactStore, error) {
+	return campaign.OpenArtifactStore(dir)
+}
+
+// RunStagedCampaign escalates a campaign through the given explorer
+// kinds: stage 1 runs every job with the first kind, later stages
+// re-run only the jobs the previous stage left at chance.
+func RunStagedCampaign(ctx context.Context, spec CampaignSpec, rc CampaignRunConfig, explorers []string) (*CampaignStagedResult, error) {
+	return campaign.RunStaged(ctx, spec, rc, explorers)
+}
 
 // RunCampaign expands the spec and executes it on a bounded worker pool;
 // see campaign.Run. Cancelling the context stops dispatch, and rerunning
@@ -404,9 +476,16 @@ type (
 func Classify(e *Env, actions []int) AttackCategory { return analysis.Classify(e, actions) }
 
 // RandomSearch samples random prefixes until one distinguishes every
-// secret (the §VI-A baseline).
-func RandomSearch(e *Env, length, budget int, seed int64) SearchResult {
-	return search.RandomSearch(e, length, budget, seed)
+// secret (the §VI-A baseline). Cancelling the context aborts the search
+// promptly with the partial result.
+func RandomSearch(ctx context.Context, e *Env, length, budget int, seed int64) SearchResult {
+	return search.RandomSearch(ctx, e, length, budget, seed)
+}
+
+// ExhaustiveSearch tries every prefix of the given length in
+// lexicographic order (tiny configurations only).
+func ExhaustiveSearch(ctx context.Context, e *Env, length, budget int) SearchResult {
+	return search.ExhaustiveSearch(ctx, e, length, budget)
 }
 
 // ExpectedSearchTrials returns M = 2(N+1)^(2N+1)/(N!)², the paper's

@@ -128,7 +128,7 @@ func TestFacadeSearch(t *testing.T) {
 		Warmup:         -1,
 		Seed:           3,
 	})
-	res := autocat.RandomSearch(e, 3, 2000, 3)
+	res := autocat.RandomSearch(context.Background(), e, 3, 2000, 3)
 	if !res.Found {
 		t.Fatal("random search should find the tiny attack")
 	}

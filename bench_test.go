@@ -48,6 +48,11 @@ func BenchmarkSearchVsRL(b *testing.B) { runOnce(b, exp.SearchVsRL) }
 // skewed multi-hash, way partitioning) as a campaign sweep.
 func BenchmarkTableDefenses(b *testing.B) { runOnce(b, exp.TableDefenses) }
 
+// BenchmarkTableEscalation runs the Table IV grid through the staged
+// search→RL escalation: search screens every row, PPO trains only the
+// rows search leaves at chance.
+func BenchmarkTableEscalation(b *testing.B) { runOnce(b, exp.TableEscalation) }
+
 // oneBitEnv is the minimal guessing game used by the ablation benches.
 func oneBitEnv(seed int64) autocat.EnvConfig {
 	return autocat.EnvConfig{
@@ -156,6 +161,7 @@ func BenchmarkStepHot(b *testing.B)         { bench.StepHot(b) }
 func BenchmarkStepHotDefended(b *testing.B) { bench.StepHotDefended(b) }
 func BenchmarkRolloutSteps(b *testing.B)    { bench.RolloutSteps(b) }
 func BenchmarkPPOEpoch(b *testing.B)        { bench.PPOEpoch(b) }
+func BenchmarkArtifactReplay(b *testing.B)  { bench.ArtifactReplay(b) }
 
 // Micro-benchmarks of the substrates.
 

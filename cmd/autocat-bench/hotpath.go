@@ -55,6 +55,10 @@ type hotpathStats struct {
 	CampaignJobsSec    float64 `json:"campaign_jobs_per_sec_4workers"`
 	ApplyNsPerSample   float64 `json:"apply_batch_ns_per_sample"`
 	GradNsPerSample    float64 `json:"grad_batch_ns_per_sample,omitempty"`
+	// ArtifactReplayNs is one stored artifact replayed through a fresh
+	// environment (env construction + 64-episode deterministic eval +
+	// attack extraction) — the `autocat replay` verification path.
+	ArtifactReplayNs float64 `json:"artifact_replay_ns,omitempty"`
 }
 
 type hotpathReport struct {
@@ -80,6 +84,8 @@ func measureHotpath() hotpathStats {
 	grad := testing.Benchmark(bench.MLPGradBatch)
 	fmt.Println("measuring campaign throughput (4 workers) ...")
 	camp := testing.Benchmark(func(b *testing.B) { bench.CampaignJobs(b, 4) })
+	fmt.Println("measuring artifact replay ...")
+	replay := testing.Benchmark(bench.ArtifactReplay)
 
 	stepNs := float64(step.NsPerOp())
 	return hotpathStats{
@@ -94,6 +100,7 @@ func measureHotpath() hotpathStats {
 		CampaignJobsSec:    camp.Extra["jobs/s"],
 		ApplyNsPerSample:   float64(apply.NsPerOp()) / bench.ApplyBatchRows,
 		GradNsPerSample:    float64(grad.NsPerOp()) / bench.ApplyBatchRows,
+		ArtifactReplayNs:   float64(replay.NsPerOp()),
 	}
 }
 
@@ -126,6 +133,7 @@ func runHotpath(path string) error {
 		cur.PPOEpochStepsSec, cur.PPOEpochStepsSec/hotpathBaseline.PPOEpochStepsSec)
 	fmt.Printf("apply batch:   %.0f ns/sample\n", cur.ApplyNsPerSample)
 	fmt.Printf("grad batch:    %.0f ns/sample\n", cur.GradNsPerSample)
+	fmt.Printf("artifact replay: %.0f ns/op\n", cur.ArtifactReplayNs)
 	fmt.Printf("campaign:      %.2f jobs/s (%.2fx baseline)\n",
 		cur.CampaignJobsSec, cur.CampaignJobsSec/hotpathBaseline.CampaignJobsSec)
 	fmt.Printf("wrote %s\n", path)
@@ -147,6 +155,7 @@ var hotpathMetrics = []hotpathMetric{
 	{"campaign_jobs_per_sec_4workers", func(s *hotpathStats) float64 { return s.CampaignJobsSec }, true},
 	{"apply_batch_ns_per_sample", func(s *hotpathStats) float64 { return s.ApplyNsPerSample }, false},
 	{"grad_batch_ns_per_sample", func(s *hotpathStats) float64 { return s.GradNsPerSample }, false},
+	{"artifact_replay_ns", func(s *hotpathStats) float64 { return s.ArtifactReplayNs }, false},
 }
 
 // runCompare re-measures the hot path and compares against the

@@ -29,6 +29,7 @@ func main() {
 	table := flag.Int("table", 0, "table number to regenerate (3-10)")
 	figure := flag.Int("figure", 0, "figure number to regenerate (3-5)")
 	defenses := flag.Bool("defenses", false, "regenerate the defense-bypass table (agent vs ceaser/skew/partition)")
+	escalation := flag.Bool("escalation", false, "run the Table IV grid through staged search→RL escalation")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	scale := flag.Float64("scale", 1.0, "training budget scale (1.0 = full)")
 	runs := flag.Int("runs", 1, "training replicates for averaged tables")
@@ -109,6 +110,7 @@ func main() {
 		run("Table IX", exp.TableIX)
 		run("Table X", exp.TableX)
 		run("Defense bypass", exp.TableDefenses)
+		run("Staged escalation", exp.TableEscalation)
 		run("Figure 4", exp.Figure4)
 		run("Figure 5", exp.Figure5)
 		run("Search vs RL (§VI-A)", exp.SearchVsRL)
@@ -116,6 +118,10 @@ func main() {
 	}
 	if *defenses {
 		run("Defense bypass", exp.TableDefenses)
+		return
+	}
+	if *escalation {
+		run("Staged escalation", exp.TableEscalation)
 		return
 	}
 	switch *table {

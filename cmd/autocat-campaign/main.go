@@ -40,6 +40,11 @@ func main() {
 	resume := fs.Bool("resume", false, "skip jobs already recorded in the checkpoint")
 	scale := fs.Float64("scale", 1, "epoch budget multiplier")
 	quiet := fs.Bool("quiet", false, "suppress per-job progress lines")
+	explorers := fs.String("explorers", "", "comma-separated exploration backends (ppo,search,probe): a grid axis, or the stage order with -stages")
+	stages := fs.Bool("stages", false, "staged escalation: run -explorers in order, each later stage only on jobs the previous stage left at chance")
+	artifacts := fs.String("artifacts", "", "artifact-store directory: persist every reliable attack as a content-addressed, replayable artifact (empty disables)")
+	searchBudget := fs.Int("search-budget", 0, "search explorer: candidate sequences per prefix length (0 = default 4096)")
+	searchMaxLen := fs.Int("search-max-len", 0, "search explorer: longest prefix tried (0 = auto)")
 
 	// Grid flags, used when -spec is absent.
 	name := fs.String("name", "cli", "campaign name")
@@ -84,6 +89,12 @@ func main() {
 		return
 	}
 
+	expList := splitCSV(*explorers)
+	if !*stages && len(expList) > 0 {
+		// Without -stages the explorer list is a plain grid axis.
+		spec.Explorers = append(spec.Explorers, expList...)
+	}
+
 	jobs, skipped, err := spec.Expand()
 	if err != nil {
 		fatal(err)
@@ -101,10 +112,36 @@ func main() {
 		Checkpoint: *checkpoint,
 		Resume:     *resume,
 		Scale:      *scale,
+		Artifacts:  *artifacts,
+		Search: autocat.SearchBackendOptions{
+			Budget: *searchBudget,
+			MaxLen: *searchMaxLen,
+		},
 	}
 	if !*quiet {
 		rc.Progress = autocat.CampaignWriterProgress(os.Stdout)
 	}
+
+	if *stages {
+		if len(expList) == 0 {
+			expList = []string{autocat.CampaignExplorerSearch, autocat.CampaignExplorerPPO}
+		}
+		staged, err := autocat.RunStagedCampaign(ctx, spec, rc, expList)
+		if staged != nil {
+			printStagedSummary(staged)
+		}
+		if err != nil {
+			// Only a cancellation is resumable; configuration errors
+			// (unknown explorer kinds, bad specs) would fail identically.
+			if ctx.Err() != nil {
+				fmt.Printf("interrupted (%v); rerun with -resume to continue\n", err)
+				os.Exit(1)
+			}
+			fatal(err)
+		}
+		return
+	}
+
 	res, err := autocat.RunCampaign(ctx, spec, rc)
 	if err != nil && res == nil {
 		fatal(err)
@@ -115,6 +152,23 @@ func main() {
 			err, res.Resumed+res.Completed, len(res.Jobs))
 		os.Exit(1)
 	}
+}
+
+// printStagedSummary renders per-stage job tables plus the merged
+// catalog of a staged escalation run.
+func printStagedSummary(staged *autocat.CampaignStagedResult) {
+	for i, stage := range staged.Stages {
+		label := stage.Explorer
+		if label == "" {
+			label = autocat.CampaignExplorerPPO
+		}
+		fmt.Printf("\n=== stage %d (%s): %d jobs ===\n", i+1, label, len(stage.Result.Jobs))
+		printSummary(stage.Result)
+	}
+	for i, n := range staged.Escalated {
+		fmt.Printf("escalated to stage %d: %d of %d jobs\n", i+2, n, staged.Jobs)
+	}
+	fmt.Printf("merged catalog: %d distinct attacks\n", staged.Catalog.Len())
 }
 
 type gridFlags struct {

@@ -7,9 +7,11 @@
 //	autocat explore  [flags]   train an agent and print the found attack
 //	autocat covert   [flags]   measure the Table X covert channels
 //	autocat search   [flags]   run the §VI-A random-search baseline
+//	autocat replay   [flags]   replay and verify stored attack artifacts
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +31,8 @@ func main() {
 		covertCmd(os.Args[2:])
 	case "search":
 		searchCmd(os.Args[2:])
+	case "replay":
+		replayCmd(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -36,7 +40,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: autocat <explore|covert|search> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: autocat <explore|covert|search|replay> [flags]")
 }
 
 func explore(args []string) {
@@ -126,10 +130,72 @@ func searchCmd(args []string) {
 		Warmup:         -1,
 		Seed:           *seed,
 	})
-	res := autocat.RandomSearch(e, *length, *budget, *seed)
+	res := autocat.RandomSearch(context.Background(), e, *length, *budget, *seed)
 	fmt.Printf("found=%v sequences=%d steps=%d\n", res.Found, res.Sequences, res.Steps)
 	for n := 2; n <= 16; n *= 2 {
 		fmt.Printf("expected random-search sequences for %2d-way prime+probe: %.3g\n",
 			n, autocat.ExpectedSearchTrials(n))
+	}
+}
+
+// replayCmd verifies stored attack artifacts: each one rebuilds its
+// environment from the persisted scenario and reruns its replay recipe,
+// which must reproduce the recorded sequence and accuracy bit-for-bit.
+func replayCmd(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	dir := fs.String("artifacts", "artifacts", "artifact-store directory")
+	id := fs.String("id", "", "replay only this artifact ID (default: all)")
+	fs.Parse(args)
+
+	store, err := autocat.OpenArtifactStore(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autocat:", err)
+		os.Exit(1)
+	}
+	defer store.Close()
+
+	var reports []autocat.ArtifactReplayReport
+	if *id != "" {
+		art, err := store.Get(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autocat:", err)
+			os.Exit(1)
+		}
+		rep, err := store.Replay(art)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "autocat:", err)
+			os.Exit(1)
+		}
+		reports = append(reports, rep)
+	} else {
+		if reports, err = store.VerifyAll(); err != nil {
+			fmt.Fprintln(os.Stderr, "autocat:", err)
+			os.Exit(1)
+		}
+	}
+	if len(reports) == 0 {
+		fmt.Printf("no artifacts in %s\n", *dir)
+		return
+	}
+
+	fmt.Printf("%-16s %-7s %-40s %8s %8s  %s\n",
+		"ID", "Kind", "Scenario", "Recorded", "Replayed", "Verdict")
+	failed := 0
+	for _, rep := range reports {
+		verdict := "OK"
+		if !rep.Match {
+			verdict = "MISMATCH"
+			failed++
+		}
+		fmt.Printf("%-16s %-7s %-40s %8.3f %8.3f  %s\n",
+			rep.Artifact.ID, rep.Artifact.Explorer, rep.Artifact.Name,
+			rep.Artifact.Accuracy, rep.Accuracy, verdict)
+		if !rep.Match {
+			fmt.Printf("  recorded: %s\n  replayed: %s\n", rep.Artifact.Sequence, rep.Sequence)
+		}
+	}
+	fmt.Printf("%d artifacts, %d mismatches\n", len(reports), failed)
+	if failed > 0 {
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,64 @@
+package analysis
+
+// FuzzClassify hardens the classifier against arbitrary action
+// sequences: campaign artifacts and checkpoints carry raw action slices
+// from external files, so Classify must tolerate anything — negative
+// action indices, indices far past the action table, guesses outside
+// the victim range, empty input — without panicking. (It still returns
+// a category; garbage classifies as Unclassified or a best-effort
+// label, it just must not crash the campaign worker.)
+
+import (
+	"testing"
+
+	"autocat/internal/cache"
+	"autocat/internal/env"
+)
+
+// fuzzEnv is a small shared-memory guessing game with every action kind
+// enabled (accesses, flushes, victim trigger, guesses, guess-none), so
+// byte-derived actions cover the whole decode table.
+func fuzzEnv(f *testing.F) *env.Env {
+	f.Helper()
+	e, err := env.New(env.Config{
+		Cache:      cache.Config{NumBlocks: 2, NumWays: 2},
+		AttackerLo: 0, AttackerHi: 3,
+		VictimLo: 1, VictimHi: 2,
+		FlushEnable:    true,
+		VictimNoAccess: true,
+		WindowSize:     12,
+		Warmup:         -1,
+		Seed:           1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return e
+}
+
+func FuzzClassify(f *testing.F) {
+	e := fuzzEnv(f)
+	// Seeds: a plausible flush+reload, a prime+probe shape, single
+	// actions, and hostile encodings (out-of-range, negative bytes).
+	f.Add([]byte{})
+	f.Add([]byte{5, 9, 1, 12})             // flush → victim → reload → guess
+	f.Add([]byte{0, 1, 2, 9, 0, 1, 2, 11}) // prime → victim → probe → guess
+	f.Add([]byte{255, 254, 128, 127, 0})   // negative and huge action indices
+	f.Add([]byte{9, 9, 9, 14, 14, 14})     // repeated triggers and guess-none
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		actions := make([]int, len(data))
+		for i, b := range data {
+			// int8 widening yields negatives; the shift stretches the
+			// positive range far past the action table.
+			actions[i] = int(int8(b))
+			if b%7 == 0 {
+				actions[i] = int(b) << 6
+			}
+		}
+		_ = Classify(e, actions) // must not panic on any input
+	})
+}

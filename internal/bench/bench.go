@@ -11,6 +11,7 @@ import (
 
 	"autocat/internal/cache"
 	"autocat/internal/campaign"
+	"autocat/internal/core"
 	"autocat/internal/env"
 	"autocat/internal/nn"
 	"autocat/internal/rl"
@@ -243,4 +244,56 @@ func CampaignJobs(b *testing.B, workers int) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// ArtifactReplay measures the artifact replay path: one stored
+// discovery (a search-explorer artifact on the one-bit channel)
+// replayed through a fresh environment per iteration, exactly what
+// `autocat replay` and campaign artifact verification do. The store is
+// built once; each op is environment construction plus the full
+// deterministic evaluation (64 episodes + attack extraction).
+func ArtifactReplay(b *testing.B) {
+	dir := b.TempDir()
+	store, err := campaign.OpenArtifactStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	sc := campaign.Scenario{
+		Name: "bench-artifact",
+		Env: env.Config{
+			Cache:      cache.Config{NumBlocks: 1, NumWays: 1},
+			AttackerLo: 1, AttackerHi: 1,
+			VictimLo: 0, VictimHi: 0,
+			VictimNoAccess: true,
+			WindowSize:     6,
+			Warmup:         -1,
+			Seed:           1,
+		},
+	}
+	runner := campaign.NewExplorerRunner(campaign.RunnerOptions{
+		Artifacts: store,
+		Search:    core.SearchBackendOptions{Budget: 2000, MaxLen: 3},
+	})
+	jr := runner(context.Background(), campaign.Job{
+		ID:       "bench",
+		Scenario: func() campaign.Scenario { s := sc; s.Explorer = campaign.ExplorerSearch; return s }(),
+	})
+	if jr.Error != "" || jr.ArtifactID == "" {
+		b.Fatalf("artifact setup failed: %+v", jr)
+	}
+	art, err := store.Get(jr.ArtifactID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := store.Replay(art)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Match {
+			b.Fatal("replay mismatch")
+		}
+	}
 }

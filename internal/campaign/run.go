@@ -10,6 +10,7 @@ import (
 
 	"autocat/internal/core"
 	"autocat/internal/detect"
+	"autocat/internal/env"
 	"autocat/internal/nn"
 	"autocat/internal/rl"
 )
@@ -30,6 +31,12 @@ type JobResult struct {
 	Canonical string `json:"canonical,omitempty"`
 	// Category is the Table I classification.
 	Category string `json:"category,omitempty"`
+	// Explorer is the backend that ran the job ("" is the default PPO
+	// explorer, so pre-explorer-axis checkpoints are byte-identical).
+	Explorer string `json:"explorer,omitempty"`
+	// ArtifactID links to the content-addressed attack artifact, when
+	// artifact persistence is enabled and the attack replays cleanly.
+	ArtifactID string `json:"artifact_id,omitempty"`
 	// Expected is the scenario's predicted category, when declared.
 	Expected         string  `json:"expected,omitempty"`
 	Converged        bool    `json:"converged"`
@@ -81,7 +88,18 @@ type RunConfig struct {
 	// It is called from worker goroutines under the scheduler lock, so
 	// it needs no synchronization of its own but should return quickly.
 	Progress func(Progress)
-	// Runner overrides job execution; nil selects the Explorer runner.
+	// Artifacts is the artifact-store directory: every reliable attack
+	// persists as a content-addressed, deterministically replayable
+	// artifact next to the checkpoint. Empty disables persistence.
+	// Ignored when Runner is set (custom runners own their persistence).
+	Artifacts string
+	// Search parameterizes search-explorer jobs (budget, lengths); the
+	// zero value selects the backend defaults.
+	Search core.SearchBackendOptions
+	// Probe parameterizes probe-explorer jobs.
+	Probe core.ProbeBackendOptions
+	// Runner overrides job execution; nil selects the explorer runner
+	// (which dispatches on each scenario's Explorer kind).
 	Runner Runner
 }
 
@@ -118,7 +136,16 @@ func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
 		rc.Scale = 1
 	}
 	if rc.Runner == nil {
-		rc.Runner = ExplorerRunner(rc.Scale)
+		ro := RunnerOptions{Scale: rc.Scale, Search: rc.Search, Probe: rc.Probe}
+		if rc.Artifacts != "" {
+			store, err := OpenArtifactStore(rc.Artifacts)
+			if err != nil {
+				return nil, err
+			}
+			defer store.Close()
+			ro.Artifacts = store
+		}
+		rc.Runner = NewExplorerRunner(ro)
 	}
 
 	res := &Result{
@@ -229,6 +256,7 @@ func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
 				jr.Index = job.Index
 				jr.Name = job.Scenario.Name
 				jr.Seed = job.Scenario.Env.Seed
+				jr.Explorer = job.Scenario.Explorer
 				jr.DurationMS = time.Since(t0).Milliseconds()
 
 				// The catalog is sharded and safe on its own; recording
@@ -281,61 +309,149 @@ dispatch:
 // governed separately by the process-wide compute-token pool.
 const explorerTrainWorkers = 4
 
-// ExplorerRunner returns the production runner: each job builds a
-// core.Explorer from its scenario, trains to convergence or budget,
-// extracts the attack by deterministic replay, and classifies it.
-// Machine scheduling is delegated to the compute-token pool shared with
-// the nn kernels (each campaign worker holds a token while its job
-// runs), replacing the old NumCPU/poolWorkers split that both
-// oversubscribed small machines and made job math machine-dependent.
+// RunnerOptions configures the explorer runner.
+type RunnerOptions struct {
+	// Scale multiplies PPO epoch budgets; 0 means 1.0.
+	Scale float64
+	// Artifacts, when set, persists every reliable attack as a
+	// content-addressed, replayable artifact.
+	Artifacts *ArtifactStore
+	// Search/Probe parameterize the cheap backends; zero values select
+	// their defaults.
+	Search core.SearchBackendOptions
+	// Probe parameterizes the scripted-agent prober.
+	Probe core.ProbeBackendOptions
+}
+
+// ExplorerRunner returns the classic production runner at the given
+// scale — NewExplorerRunner with default backend options and no
+// artifact persistence.
 func ExplorerRunner(scale float64) Runner {
-	if scale <= 0 {
-		scale = 1
+	return NewExplorerRunner(RunnerOptions{Scale: scale})
+}
+
+// NewExplorerRunner returns the production runner: each job selects its
+// exploration backend from the scenario's Explorer kind — the PPO
+// training explorer by default, the budgeted prefix search or the
+// scripted-agent prober for the cheap stages — runs it, and catalogs
+// the reliable attacks. Machine scheduling is delegated to the
+// compute-token pool shared with the nn kernels (each campaign worker
+// holds a token while its job runs), replacing the old
+// NumCPU/poolWorkers split that both oversubscribed small machines and
+// made job math machine-dependent.
+func NewExplorerRunner(opts RunnerOptions) Runner {
+	if opts.Scale <= 0 {
+		opts.Scale = 1
 	}
 	return func(ctx context.Context, job Job) JobResult {
 		if err := ctx.Err(); err != nil {
 			return JobResult{Error: err.Error()}
 		}
 		sc := job.Scenario
-		jr := JobResult{Expected: sc.Expected}
+		jr := JobResult{Expected: sc.Expected, Explorer: sc.Explorer}
 
-		ppo := sc.ppoConfig(scale)
-		if ppo.Workers == 0 {
-			ppo.Workers = explorerTrainWorkers
-		}
-		cfg := core.Config{Env: sc.Env, Envs: sc.Envs, PPO: ppo}
-		switch sc.Detector {
-		case DetectorNone:
-		case DetectorMissBased:
-			cfg.DetectorFactory = func() detect.Detector { return detect.NewMissBased() }
-		case DetectorCCHunter:
-			cfg.DetectorFactory = func() detect.Detector { return detect.NewCCHunter() }
-		default:
-			jr.Error = fmt.Sprintf("unknown detector %q", sc.Detector)
-			return jr
-		}
-
-		ex, err := core.New(cfg)
+		backend, err := opts.backend(sc)
 		if err != nil {
 			jr.Error = err.Error()
 			return jr
 		}
-		res := ex.Run()
+		res, err := backend.Explore(ctx, sc.Env)
+		if err != nil {
+			jr.Error = err.Error()
+			return jr
+		}
 		jr.Converged = res.Train.Converged
 		jr.Epochs = res.Train.Epochs
 		jr.EpochsToConverge = res.Train.EpochsToConverge
 		jr.Accuracy = res.Eval.Accuracy
 		jr.MeanLength = res.Eval.MeanLength
-		// Catalog only attacks the trained policy performs reliably: an
+		// Catalog only attacks the explorer performs reliably: an
 		// unconverged agent still "extracts" a sequence now and then by
 		// guessing luckily, and those would pollute the catalog.
-		if res.AttackOK && (res.Train.Converged || res.Eval.Accuracy >= 0.9) {
-			jr.Sequence = res.Sequence
-			jr.Canonical = Canonicalize(ex.Env(), res.Attack.Actions)
-			jr.Category = string(res.Category)
+		reliable := res.AttackOK && (res.Train.Converged || res.Eval.Accuracy >= 0.9)
+		if !reliable {
+			return jr
+		}
+		// The cheap backends have no training loop; a reliably decoding
+		// table/agent counts as converged for summary purposes.
+		if backend.Kind() != core.ExplorerPPO {
+			jr.Converged = true
+		}
+		e, err := env.New(sc.Env)
+		if err != nil {
+			jr.Error = err.Error()
+			return jr
+		}
+		jr.Sequence = res.Sequence
+		jr.Canonical = Canonicalize(e, res.Attack.Actions)
+		jr.Category = string(res.Category)
+
+		// Persist the discovery as a replayable artifact. Detector
+		// scenarios are skipped: the replay recipe rebuilds the plain
+		// env.Config, which carries no detector, so a stored record
+		// would claim detector-scenario stats measured detector-free.
+		// A replay that cannot reproduce a correct attack (a lucky pass
+		// on a nondeterministic target) is also skipped — the job result
+		// stands, there is just nothing deterministic to store. Store
+		// failures (including I/O) leave ArtifactID empty without
+		// erasing the successful result: an errored job would never be
+		// retried on resume and would needlessly escalate in staged runs.
+		if opts.Artifacts != nil && res.Replay != nil && sc.Detector == DetectorNone {
+			if art, err := artifactFromResult(job, res); err == nil {
+				art.ParamsHash = backend.ParamsHash()
+				if stored, _, err := opts.Artifacts.Put(art); err == nil {
+					jr.ArtifactID = stored.ID
+				}
+			}
 		}
 		return jr
 	}
+}
+
+// backend instantiates the scenario's exploration backend.
+func (opts RunnerOptions) backend(sc Scenario) (core.Explorer, error) {
+	kind, ok := normalizeExplorer(sc.Explorer)
+	if !ok {
+		return nil, fmt.Errorf("unknown explorer %q", sc.Explorer)
+	}
+	switch sc.Detector {
+	case DetectorNone, DetectorMissBased, DetectorCCHunter:
+	default:
+		return nil, fmt.Errorf("unknown detector %q", sc.Detector)
+	}
+	switch kind {
+	case ExplorerSearch, ExplorerProbe:
+		// The cheap backends have no detector plumbing: running them on a
+		// detector scenario would silently measure the attack without the
+		// detector attached and report it as a bypass. Refuse instead —
+		// in a staged run the error escalates the scenario to the PPO
+		// stage, which does train against the detector.
+		if sc.Detector != DetectorNone {
+			return nil, fmt.Errorf("explorer %q does not support detector scenarios (use ppo)", kind)
+		}
+	}
+	switch kind {
+	case ExplorerSearch:
+		so := opts.Search
+		if so.Seed == 0 {
+			so.Seed = sc.Env.Seed
+		}
+		return core.NewSearchBackend(so), nil
+	case ExplorerProbe:
+		return core.NewProbeBackend(opts.Probe), nil
+	}
+	ppo := sc.ppoConfig(opts.Scale)
+	if ppo.Workers == 0 {
+		ppo.Workers = explorerTrainWorkers
+	}
+	bo := core.PPOBackendOptions{Envs: sc.Envs, PPO: ppo}
+	switch sc.Detector {
+	case DetectorMissBased:
+		bo.DetectorFactory = func() detect.Detector { return detect.NewMissBased() }
+	case DetectorCCHunter:
+		bo.DetectorFactory = func() detect.Detector { return detect.NewCCHunter() }
+	}
+	return core.NewPPOBackend(bo), nil
 }
 
 // ppoConfig derives the trainer hyperparameters: the scenario's explicit

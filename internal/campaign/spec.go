@@ -17,6 +17,7 @@ import (
 	"hash/fnv"
 
 	"autocat/internal/cache"
+	"autocat/internal/core"
 	"autocat/internal/env"
 	"autocat/internal/rl"
 )
@@ -49,6 +50,30 @@ const (
 	DefensePartition = string(cache.DefensePartition)
 )
 
+// Explorer kinds accepted by Scenario.Explorer and Spec.Explorers. The
+// empty string (and its alias "ppo") selects the default PPO training
+// backend; "search" and "probe" select the cheap non-learning backends.
+const (
+	ExplorerDefault = ""
+	ExplorerPPO     = string(core.ExplorerPPO)
+	ExplorerSearch  = string(core.ExplorerSearch)
+	ExplorerProbe   = string(core.ExplorerProbe)
+)
+
+// normalizeExplorer canonicalizes an explorer-axis value: "ppo" and ""
+// both mean the default backend (and must hash identically, so the
+// default collapses to the empty string). ok is false for unknown kinds.
+func normalizeExplorer(s string) (kind string, ok bool) {
+	switch s {
+	case ExplorerDefault, ExplorerPPO:
+		return ExplorerDefault, true
+	case ExplorerSearch, ExplorerProbe:
+		return s, true
+	default:
+		return "", false
+	}
+}
+
 // Scenario is one fully specified exploration job: an environment, a
 // training budget, and an optional detector. It is the unit the worker
 // pool executes and the unit checkpointing identifies.
@@ -72,6 +97,12 @@ type Scenario struct {
 	// entirely (Epochs/StepsPerEpoch are ignored; a zero PPO.Seed is
 	// filled from Env.Seed).
 	PPO *rl.PPOConfig `json:"ppo,omitempty"`
+	// Explorer selects the exploration backend: ExplorerSearch,
+	// ExplorerProbe, or empty for the default PPO explorer. The field is
+	// omitted from the scenario's canonical JSON when empty, so the job
+	// IDs of every pre-explorer-axis campaign are unchanged and old
+	// checkpoints resume cleanly (the DefenseConfig omitzero rule).
+	Explorer string `json:"explorer,omitempty"`
 	// Expected optionally records the attack category the scenario is
 	// expected to produce (informational; printed in summaries).
 	Expected string `json:"expected,omitempty"`
@@ -107,6 +138,11 @@ type Spec struct {
 	// for every other defense the period is ignored, so those points
 	// collapse into one job via ID dedup instead of multiplying.
 	RekeyPeriods []int `json:"rekey_periods,omitempty"`
+	// Explorers is the exploration-backend axis (ExplorerPPO,
+	// ExplorerSearch, ExplorerProbe). "ppo" and "" both select the
+	// default PPO backend and collapse to one grid point, with job IDs
+	// identical to a spec without the axis.
+	Explorers []string `json:"explorers,omitempty"`
 	// StepRewards is the per-action penalty axis (Table VI); zero values
 	// select the default -0.01.
 	StepRewards []float64 `json:"step_rewards,omitempty"`
@@ -193,11 +229,28 @@ func (s Spec) Expand() (jobs []Job, skipped int, err error) {
 	detectors := axis(s.Detectors, DetectorNone)
 	defenses := axis(s.Defenses, DefenseNone)
 	rekeys := axis(s.RekeyPeriods, 0)
+	explorers := axis(s.Explorers, ExplorerDefault)
 	stepRewards := axis(s.StepRewards, 0)
 	seeds := axis(s.Seeds, 1)
 
+	// The explorer axis is user input, not a structural cross-product:
+	// an unknown kind is a spec error, not a skippable grid point (a
+	// typo silently skipping half the grid would be invisible).
+	for _, exp := range s.Explorers {
+		if _, ok := normalizeExplorer(exp); !ok {
+			return nil, 0, fmt.Errorf("campaign: spec %q has unknown explorer %q", s.Name, exp)
+		}
+	}
+
 	seen := map[string]bool{}
 	add := func(sc Scenario) error {
+		// Normalize the explorer so "ppo" and "" hash to the same job ID
+		// for explicit scenarios too, not just grid points.
+		kind, ok := normalizeExplorer(sc.Explorer)
+		if !ok {
+			return fmt.Errorf("campaign: scenario %q has unknown explorer %q", sc.Name, sc.Explorer)
+		}
+		sc.Explorer = kind
 		id, err := jobID(sc)
 		if err != nil {
 			return err
@@ -218,15 +271,17 @@ func (s Spec) Expand() (jobs []Job, skipped int, err error) {
 						for _, det := range detectors {
 							for _, def := range defenses {
 								for _, rekey := range rekeys {
-									for _, step := range stepRewards {
-										for _, seed := range seeds {
-											sc, ok := s.gridScenario(base, pol, pf, att, vic, det, def, rekey, step, seed)
-											if !ok {
-												skipped++
-												continue
-											}
-											if err := add(sc); err != nil {
-												return nil, 0, err
+									for _, exp := range explorers {
+										for _, step := range stepRewards {
+											for _, seed := range seeds {
+												sc, ok := s.gridScenario(base, pol, pf, att, vic, det, def, rekey, exp, step, seed)
+												if !ok {
+													skipped++
+													continue
+												}
+												if err := add(sc); err != nil {
+													return nil, 0, err
+												}
 											}
 										}
 									}
@@ -252,9 +307,15 @@ func (s Spec) Expand() (jobs []Job, skipped int, err error) {
 // gridScenario assembles one cross-product point, reporting ok=false
 // when the combination is structurally invalid. rekey parameterizes
 // only the CEASER defense; other defenses ignore it (the identical
-// scenarios it produces dedup by job ID in Expand).
+// scenarios it produces dedup by job ID in Expand). exp selects the
+// exploration backend; "ppo" normalizes to the empty default so the
+// job ID stays identical to a spec without the explorer axis.
 func (s Spec) gridScenario(base cache.Config, pol cache.PolicyKind, pf cache.PrefetcherKind,
-	att, vic AddrRange, det, def string, rekey int, stepReward float64, seed int64) (Scenario, bool) {
+	att, vic AddrRange, det, def string, rekey int, exp string, stepReward float64, seed int64) (Scenario, bool) {
+	explorer, expOK := normalizeExplorer(exp)
+	if !expOK {
+		return Scenario{}, false
+	}
 	cc := base
 	if pol != "" {
 		cc.Policy = pol
@@ -342,6 +403,9 @@ func (s Spec) gridScenario(base cache.Config, pol cache.PolicyKind, pf cache.Pre
 			name += fmt.Sprintf("-rk%d", rekey)
 		}
 	}
+	if explorer != ExplorerDefault {
+		name += "/" + explorer
+	}
 	if stepReward != 0 {
 		name += fmt.Sprintf("/step%g", stepReward)
 	}
@@ -354,5 +418,6 @@ func (s Spec) gridScenario(base cache.Config, pol cache.PolicyKind, pf cache.Pre
 		Epochs:        s.Epochs,
 		StepsPerEpoch: s.StepsPerEpoch,
 		Envs:          s.Envs,
+		Explorer:      explorer,
 	}, true
 }

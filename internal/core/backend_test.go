@@ -1,0 +1,197 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"autocat/internal/cache"
+	"autocat/internal/env"
+)
+
+// oneBitEnv is the 1-line cache guessing game where prime→trigger→probe
+// distinguishes the 0/E secret: the minimal configuration every cheap
+// backend solves.
+func oneBitEnv(seed int64) env.Config {
+	return env.Config{
+		Cache:      cache.Config{NumBlocks: 1, NumWays: 1},
+		AttackerLo: 1, AttackerHi: 1,
+		VictimLo: 0, VictimHi: 0,
+		VictimNoAccess: true,
+		WindowSize:     8,
+		Warmup:         -1,
+		Seed:           seed,
+	}
+}
+
+func TestSearchBackendSolvesOneBit(t *testing.T) {
+	b := NewSearchBackend(SearchBackendOptions{Budget: 2000})
+	res, err := b.Explore(context.Background(), oneBitEnv(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AttackOK || res.Eval.Accuracy != 1 {
+		t.Fatalf("search backend should solve the 1-bit game exactly: ok=%v acc=%v",
+			res.AttackOK, res.Eval.Accuracy)
+	}
+	if res.Kind != ExplorerSearch || res.Replay == nil || res.Search == nil {
+		t.Fatalf("result not self-describing: %+v", res)
+	}
+	if res.Sequence == "" || res.Category == "" {
+		t.Fatalf("sequence/category missing: %q %q", res.Sequence, res.Category)
+	}
+}
+
+func TestSearchBackendReplayBitExact(t *testing.T) {
+	cfg := oneBitEnv(9)
+	b := NewSearchBackend(SearchBackendOptions{Budget: 2000})
+	res, err := b.Explore(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replay == nil {
+		t.Fatal("no replay spec")
+	}
+	for i := 0; i < 2; i++ {
+		rep, err := Replay(*res.Replay, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Sequence != res.Sequence || rep.Eval != res.Eval ||
+			!reflect.DeepEqual(rep.Attack.Actions, res.Attack.Actions) {
+			t.Fatalf("replay %d diverges:\n got %q %+v\nwant %q %+v",
+				i, rep.Sequence, rep.Eval, res.Sequence, res.Eval)
+		}
+	}
+}
+
+func TestSearchBackendStaysAtChance(t *testing.T) {
+	// One attacker address on a 4-way set: no prefix of non-guess actions
+	// distinguishes the 0/E secret (the victim's line never conflicts),
+	// so the search exhausts its budget and reports no attack.
+	cfg := env.Config{
+		Cache:      cache.Config{NumBlocks: 4, NumWays: 4},
+		AttackerLo: 1, AttackerHi: 2,
+		VictimLo: 0, VictimHi: 0,
+		VictimNoAccess: true,
+		WindowSize:     6,
+		Warmup:         -1,
+		Seed:           2,
+	}
+	b := NewSearchBackend(SearchBackendOptions{Budget: 200, MaxLen: 3})
+	res, err := b.Explore(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AttackOK || res.Sequence != "" {
+		t.Fatalf("undistinguishable config should stay at chance: %+v", res)
+	}
+	if res.Search == nil || res.Search.Sequences == 0 {
+		t.Fatal("search cost accounting missing")
+	}
+}
+
+func TestSearchBackendCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := NewSearchBackend(SearchBackendOptions{Budget: 1 << 30, MaxLen: 3})
+	if _, err := b.Explore(ctx, oneBitEnv(1)); err == nil {
+		t.Fatal("cancelled exploration must return the context error")
+	}
+}
+
+func TestProbeBackendFlushReload(t *testing.T) {
+	// Shared 0-3 with flush: the textbook flush+reload attacker decodes
+	// the secret exactly.
+	cfg := env.Config{
+		Cache:      cache.Config{NumBlocks: 4, NumWays: 1},
+		AttackerLo: 0, AttackerHi: 3,
+		VictimLo: 0, VictimHi: 3,
+		FlushEnable: true,
+		WindowSize:  20,
+		Seed:        4,
+	}
+	b := NewProbeBackend(ProbeBackendOptions{Episodes: 32})
+	res, err := b.Explore(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AttackOK || res.Eval.Accuracy != 1 {
+		t.Fatalf("flush+reload should decode exactly: ok=%v acc=%v", res.AttackOK, res.Eval.Accuracy)
+	}
+	if res.Replay == nil || res.Replay.Agent != AgentFlushReload {
+		t.Fatalf("best agent should be flush+reload: %+v", res.Replay)
+	}
+	rep, err := Replay(*res.Replay, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sequence != res.Sequence || rep.Eval != res.Eval {
+		t.Fatalf("probe replay diverges: %q %+v vs %q %+v",
+			rep.Sequence, rep.Eval, res.Sequence, res.Eval)
+	}
+}
+
+func TestProbeBackendPrimeProbeDisjoint(t *testing.T) {
+	// Disjoint ranges on a 4-set direct-mapped cache: the prime+probe
+	// state machine recovers the victim's set.
+	cfg := env.Config{
+		Cache:      cache.Config{NumBlocks: 4, NumWays: 1},
+		AttackerLo: 4, AttackerHi: 7,
+		VictimLo: 0, VictimHi: 3,
+		WindowSize: 20,
+		Seed:       4,
+	}
+	b := NewProbeBackend(ProbeBackendOptions{Episodes: 32})
+	res, err := b.Explore(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AttackOK || res.Eval.Accuracy != 1 {
+		t.Fatalf("prime+probe should decode the DM set exactly: ok=%v acc=%v",
+			res.AttackOK, res.Eval.Accuracy)
+	}
+	if res.Replay == nil || res.Replay.Agent != AgentPrimeProbe {
+		t.Fatalf("agent should be prime+probe: %+v", res.Replay)
+	}
+}
+
+func TestApplicableAgents(t *testing.T) {
+	fr := oneBitEnv(1)
+	fr.FlushEnable = true
+	fr.AttackerLo, fr.AttackerHi = 0, 1
+	got := applicableAgents(fr)
+	if !reflect.DeepEqual(got, []string{AgentFlushReload, AgentPrimeProbe}) {
+		t.Fatalf("shared flush config agents = %v", got)
+	}
+	pp := oneBitEnv(1) // attacker 1-1 does not cover victim 0-0
+	if got := applicableAgents(pp); !reflect.DeepEqual(got, []string{AgentPrimeProbe}) {
+		t.Fatalf("disjoint config agents = %v", got)
+	}
+}
+
+func TestBackendsSelfDescribe(t *testing.T) {
+	backends := []Explorer{
+		NewPPOBackend(PPOBackendOptions{}),
+		NewSearchBackend(SearchBackendOptions{}),
+		NewProbeBackend(ProbeBackendOptions{}),
+	}
+	kinds := map[ExplorerKind]bool{}
+	for _, b := range backends {
+		if b.ParamsHash() == "" {
+			t.Fatalf("%s: empty params hash", b.Kind())
+		}
+		kinds[b.Kind()] = true
+	}
+	if len(kinds) != 3 {
+		t.Fatalf("kinds not distinct: %v", kinds)
+	}
+	a := NewSearchBackend(SearchBackendOptions{Budget: 10})
+	b := NewSearchBackend(SearchBackendOptions{Budget: 20})
+	if a.ParamsHash() == b.ParamsHash() {
+		t.Fatal("different budgets must hash differently")
+	}
+	if a.ParamsHash() != NewSearchBackend(SearchBackendOptions{Budget: 10}).ParamsHash() {
+		t.Fatal("params hash must be stable")
+	}
+}

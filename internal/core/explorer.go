@@ -1,11 +1,17 @@
 // Package core is the AutoCAT framework itself (Figure 2a): it wires a
-// target cache implementation into the guessing-game environment, trains
-// the PPO agent, extracts attack sequences by deterministic replay, and
-// classifies them — the full pipeline from "cache implementation +
-// attack/victim configuration" to "attack sequence + category".
+// target cache implementation into the guessing-game environment, runs
+// an exploration backend over it — the PPO agent, the budgeted prefix
+// search, or the scripted textbook probers — extracts attack sequences
+// by deterministic replay, and classifies them: the full pipeline from
+// "cache implementation + attack/victim configuration" to "replayable
+// attack sequence + category". The Explorer interface (backend.go)
+// makes the backend pluggable; ReplaySpec makes every discovery
+// reproducible bit-for-bit.
 package core
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 
 	"autocat/internal/analysis"
@@ -13,6 +19,7 @@ import (
 	"autocat/internal/env"
 	"autocat/internal/nn"
 	"autocat/internal/rl"
+	"autocat/internal/search"
 )
 
 // Backbone selects the policy network architecture.
@@ -49,7 +56,10 @@ type Config struct {
 	EvalEpisodes int
 }
 
-// Result is the outcome of one exploration.
+// Result is the outcome of one exploration, whichever backend produced
+// it. The search and probe backends leave Train zero and fill Eval,
+// Attack, Sequence and Category through the same deterministic
+// evaluation path their artifacts replay through.
 type Result struct {
 	Train     rl.Result
 	Eval      rl.EvalStats
@@ -58,10 +68,23 @@ type Result struct {
 	Sequence  string // the attack in the paper's arrow notation
 	Category  analysis.Category
 	NumParams int
+	// Kind names the backend that produced the result ("" is legacy PPO).
+	Kind ExplorerKind
+	// Replay, when non-nil, is the self-contained recipe that reproduces
+	// Eval/Attack/Sequence bit-for-bit on a fresh environment; artifact
+	// persistence serializes it.
+	Replay *ReplaySpec
+	// Net is the trained policy (PPO backend only; nil otherwise). It is
+	// what Replay's weights blob was serialized from.
+	Net nn.PolicyValueNet
+	// Search reports the search backend's cost accounting (nil otherwise).
+	Search *search.Result
 }
 
-// Explorer owns the environments, network and trainer for one run.
-type Explorer struct {
+// PPOExplorer owns the environments, network and trainer for one PPO
+// exploration run (the paper's pipeline). It is the training-grade
+// surface; the PPOBackend adapter wraps it into the Explorer interface.
+type PPOExplorer struct {
 	cfg     Config
 	envs    []*env.Env
 	net     nn.PolicyValueNet
@@ -69,7 +92,7 @@ type Explorer struct {
 }
 
 // New validates the configuration and builds the explorer.
-func New(cfg Config) (*Explorer, error) {
+func New(cfg Config) (*PPOExplorer, error) {
 	if cfg.Envs == 0 {
 		cfg.Envs = 8
 	}
@@ -79,7 +102,7 @@ func New(cfg Config) (*Explorer, error) {
 	if cfg.EvalEpisodes == 0 {
 		cfg.EvalEpisodes = 256
 	}
-	ex := &Explorer{cfg: cfg}
+	ex := &PPOExplorer{cfg: cfg}
 	for i := 0; i < cfg.Envs; i++ {
 		ecfg := cfg.Env
 		ecfg.Seed = cfg.Env.Seed + int64(i)*7919
@@ -127,18 +150,23 @@ func New(cfg Config) (*Explorer, error) {
 }
 
 // Env returns the first environment (for replay and formatting).
-func (ex *Explorer) Env() *env.Env { return ex.envs[0] }
+func (ex *PPOExplorer) Env() *env.Env { return ex.envs[0] }
 
 // Net returns the policy network.
-func (ex *Explorer) Net() nn.PolicyValueNet { return ex.net }
+func (ex *PPOExplorer) Net() nn.PolicyValueNet { return ex.net }
 
 // Trainer exposes the underlying PPO trainer for epoch-level control.
-func (ex *Explorer) Trainer() *rl.Trainer { return ex.trainer }
+func (ex *PPOExplorer) Trainer() *rl.Trainer { return ex.trainer }
 
 // Run trains to convergence (or the epoch budget), evaluates the greedy
 // policy, extracts an attack sequence, and classifies it.
-func (ex *Explorer) Run() *Result {
-	res := &Result{Train: ex.trainer.Train()}
+func (ex *PPOExplorer) Run() *Result { return ex.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation: training checks the
+// context between epochs, and a cancelled run still evaluates and
+// classifies whatever policy it has (so partial results stay usable).
+func (ex *PPOExplorer) RunContext(ctx context.Context) *Result {
+	res := &Result{Train: ex.trainer.TrainContext(ctx), Kind: ExplorerPPO}
 	e := ex.envs[0]
 	res.Eval = rl.Evaluate(ex.net, e, ex.cfg.EvalEpisodes)
 	res.Attack, res.AttackOK = rl.ExtractAttack(ex.net, e, 64)
@@ -147,7 +175,27 @@ func (ex *Explorer) Run() *Result {
 	for _, p := range ex.net.Params() {
 		res.NumParams += len(p.Val)
 	}
+	res.Net = ex.net
+	if spec, err := ex.replaySpec(); err == nil {
+		res.Replay = spec
+	}
 	return res
+}
+
+// replaySpec serializes the trained policy into a self-contained replay
+// recipe (backbone shape + weights blob + eval episode count).
+func (ex *PPOExplorer) replaySpec() (*ReplaySpec, error) {
+	var buf bytes.Buffer
+	if err := nn.SaveWeights(&buf, ex.net); err != nil {
+		return nil, err
+	}
+	return &ReplaySpec{
+		Kind:         ExplorerPPO,
+		Backbone:     ex.cfg.Backbone,
+		Hidden:       ex.cfg.Hidden,
+		EvalEpisodes: ex.cfg.EvalEpisodes,
+		Weights:      buf.Bytes(),
+	}, nil
 }
 
 // Explore is the one-call convenience: build an explorer and run it.

@@ -212,8 +212,8 @@ func TableIVSpec(o Options) (campaign.Spec, []table4Config) {
 func TableIV(o Options) {
 	o = o.withDefaults()
 	fmt.Fprintln(o.W, "Table IV: attacks found across cache / attacker / victim configurations")
-	fmt.Fprintf(o.W, "%-3s %-42s %-10s | %-9s %8s  %s\n",
-		"No", "Configuration", "Expected", "Converged", "Accuracy", "Attack found (category)")
+	fmt.Fprintf(o.W, "%-3s %-42s %-10s %-8s | %-9s %8s  %s\n",
+		"No", "Configuration", "Expected", "Explorer", "Converged", "Accuracy", "Attack found (category)")
 	spec, rows := TableIVSpec(o)
 	res, err := campaign.Run(context.Background(), spec, campaign.RunConfig{Workers: o.Workers})
 	if err != nil {
@@ -226,13 +226,85 @@ func TableIV(o Options) {
 			fmt.Fprintf(o.W, "%-3d error: %s\n", row.No, jr.Error)
 			continue
 		}
-		fmt.Fprintf(o.W, "%-3d %-42s %-10s | %-9v %8.3f  %s (%s)\n",
-			row.No, row.Desc, row.Expected,
+		fmt.Fprintf(o.W, "%-3d %-42s %-10s %-8s | %-9v %8.3f  %s (%s)\n",
+			row.No, row.Desc, row.Expected, explorerCell(jr),
 			jr.Converged, jr.Accuracy, orDash(jr.Sequence), orDash(jr.Category))
 	}
 	total, _ := res.Catalog.Stats()
 	fmt.Fprintf(o.W, "catalog: %d distinct attacks across %d runs (%d rediscoveries)\n",
 		total.Entries, res.Completed, total.Hits)
+}
+
+// explorerCell renders the explorer column of a job row ("" is the
+// default PPO backend).
+func explorerCell(jr campaign.JobResult) string {
+	if jr.Explorer == "" {
+		return campaign.ExplorerPPO
+	}
+	return jr.Explorer
+}
+
+// TableEscalation runs the Table-IV-style grid through the staged
+// search→RL escalation: stage 1 screens every configuration with the
+// budgeted prefix search, stage 2 trains PPO only where search stayed
+// at chance. The table attributes each attack to the explorer that
+// found it and reports how much RL the cheap stage saved — the
+// production answer to "why run full RL on every configuration?".
+func TableEscalation(o Options) {
+	o = o.withDefaults()
+	fmt.Fprintln(o.W, "Staged escalation: search stage 1, PPO stage 2 on chance-level jobs (Table IV grid)")
+	spec, rows := TableIVSpec(o)
+	staged, err := campaign.RunStaged(context.Background(), spec, campaign.RunConfig{Workers: o.Workers},
+		[]string{campaign.ExplorerSearch, campaign.ExplorerPPO})
+	if err != nil {
+		fmt.Fprintf(o.W, "campaign: %v\n", err)
+		return
+	}
+	// Collate: the attack per scenario name comes from the first stage
+	// that solved it.
+	type rowResult struct {
+		jr    campaign.JobResult
+		stage int
+	}
+	best := map[int]rowResult{} // index in expansion order
+	for si, stage := range staged.Stages {
+		for i, jr := range stage.Result.Jobs {
+			idx := i
+			if si > 0 {
+				// Later stages run a filtered scenario list; map back by
+				// name (stage-1 names carry the explorer suffix).
+				for j := range rows {
+					if spec.Scenarios[j].Name == jr.Name {
+						idx = j
+						break
+					}
+				}
+			}
+			// A scenario reaches a later stage only when the earlier one
+			// left it at chance, so the latest stage's row is the one to
+			// show.
+			if prev, ok := best[idx]; !ok || prev.jr.Sequence == "" {
+				best[idx] = rowResult{jr: jr, stage: si + 1}
+			}
+		}
+	}
+	fmt.Fprintf(o.W, "%-3s %-42s %-8s %-5s | %8s  %s\n",
+		"No", "Configuration", "Explorer", "Stage", "Accuracy", "Attack found (category)")
+	for i, row := range rows {
+		rr, ok := best[i]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(o.W, "%-3d %-42s %-8s %-5d | %8.3f  %s (%s)\n",
+			row.No, row.Desc, explorerCell(rr.jr), rr.stage,
+			rr.jr.Accuracy, orDash(rr.jr.Sequence), orDash(rr.jr.Category))
+	}
+	ppoJobs := 0
+	if len(staged.Escalated) > 0 {
+		ppoJobs = staged.Escalated[0]
+	}
+	fmt.Fprintf(o.W, "PPO trainings: %d of %d grid jobs (search resolved the rest); merged catalog: %d distinct attacks\n",
+		ppoJobs, staged.Jobs, staged.Catalog.Len())
 }
 
 // orDash substitutes "-" for an empty field in table output (a job that

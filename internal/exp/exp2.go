@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"autocat/internal/agents"
@@ -430,7 +431,7 @@ func SearchVsRL(o Options) {
 		fmt.Fprintf(o.W, "env: %v\n", err)
 		return
 	}
-	sr := search.RandomSearch(e, 3, 100000, o.Seed)
+	sr := search.RandomSearch(context.Background(), e, 3, 100000, o.Seed)
 	fmt.Fprintf(o.W, "random search (1-line cache, length-3 prefixes): found=%v after %d sequences / %d steps\n",
 		sr.Found, sr.Sequences, sr.Steps)
 

@@ -7,6 +7,7 @@
 package rl
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -702,10 +703,20 @@ func logOrZero(p float64) float64 {
 // consecutive epochs, or MaxEpochs is reached. This mirrors the paper's
 // procedure: train until the per-episode reward converges positive, then
 // extract the attack by deterministic replay.
-func (t *Trainer) Train() Result {
+func (t *Trainer) Train() Result { return t.TrainContext(context.Background()) }
+
+// TrainContext is Train with cooperative cancellation: the context is
+// checked between epochs, so a cancelled campaign job stops after the
+// epoch in flight instead of burning its whole budget. The partial
+// result (epochs completed so far) is returned; with an undone context
+// the epoch sequence is identical to Train.
+func (t *Trainer) TrainContext(ctx context.Context) Result {
 	var res Result
 	streak := 0
 	for epoch := 1; epoch <= t.cfg.MaxEpochs; epoch++ {
+		if ctx.Err() != nil {
+			return res
+		}
 		st := t.Epoch(epoch)
 		res.Stats = append(res.Stats, st)
 		res.Epochs = epoch

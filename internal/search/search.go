@@ -5,6 +5,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -80,7 +81,9 @@ type Result struct {
 // length until one distinguishes all secrets or the sequence budget is
 // exhausted. A warm-up-free environment is required for the predicate to
 // be sound (random warm-up would make signatures episode-dependent).
-func RandomSearch(e *env.Env, length, budget int, seed int64) Result {
+// Cancelling the context aborts the search promptly (checked once per
+// candidate sequence) and returns the partial result with Found false.
+func RandomSearch(ctx context.Context, e *env.Env, length, budget int, seed int64) Result {
 	rng := rand.New(rand.NewSource(seed))
 	// Enumerate the non-guess actions once.
 	var pool []int
@@ -92,7 +95,7 @@ func RandomSearch(e *env.Env, length, budget int, seed int64) Result {
 	}
 	var res Result
 	prefix := make([]int, length)
-	for res.Sequences < budget {
+	for res.Sequences < budget && ctx.Err() == nil {
 		for i := range prefix {
 			prefix[i] = pool[rng.Intn(len(pool))]
 		}
@@ -110,7 +113,9 @@ func RandomSearch(e *env.Env, length, budget int, seed int64) Result {
 // ExhaustiveSearch tries every prefix of the given length in
 // lexicographic order. It is only tractable for tiny configurations and
 // exists to show the search-space blowup the paper argues about.
-func ExhaustiveSearch(e *env.Env, length, budget int) Result {
+// Cancelling the context aborts the enumeration promptly (checked once
+// per candidate sequence).
+func ExhaustiveSearch(ctx context.Context, e *env.Env, length, budget int) Result {
 	var pool []int
 	for a := 0; a < e.NumActions(); a++ {
 		kind, _ := e.DecodeAction(a)
@@ -121,7 +126,7 @@ func ExhaustiveSearch(e *env.Env, length, budget int) Result {
 	var res Result
 	prefix := make([]int, length)
 	idx := make([]int, length)
-	for {
+	for ctx.Err() == nil {
 		for i := range prefix {
 			prefix[i] = pool[idx[i]]
 		}
@@ -148,4 +153,5 @@ func ExhaustiveSearch(e *env.Env, length, budget int) Result {
 			return res
 		}
 	}
+	return res
 }

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -66,7 +67,7 @@ func TestDistinguishesKnownAttack(t *testing.T) {
 
 func TestRandomSearchFindsTinyAttack(t *testing.T) {
 	e := searchEnv(t)
-	res := RandomSearch(e, 3, 2000, 7)
+	res := RandomSearch(context.Background(), e, 3, 2000, 7)
 	if !res.Found {
 		t.Fatalf("random search failed within %d sequences", res.Sequences)
 	}
@@ -93,7 +94,7 @@ func TestRandomSearchBudgetExhaustion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := RandomSearch(e, 1, 50, 3)
+	res := RandomSearch(context.Background(), e, 1, 50, 3)
 	if res.Found {
 		t.Fatalf("length-1 prefix cannot distinguish, got %v", res.Attack)
 	}
@@ -104,7 +105,7 @@ func TestRandomSearchBudgetExhaustion(t *testing.T) {
 
 func TestExhaustiveSearchFindsTinyAttack(t *testing.T) {
 	e := searchEnv(t)
-	res := ExhaustiveSearch(e, 3, 100)
+	res := ExhaustiveSearch(context.Background(), e, 3, 100)
 	if !res.Found {
 		t.Fatalf("exhaustive search failed in %d sequences", res.Sequences)
 	}
@@ -117,7 +118,7 @@ func TestRandomVsExpectedScaling(t *testing.T) {
 	// Sanity: random search on a 2-way set takes more sequences than on
 	// the 1-line set (the search space blows up with associativity).
 	small := searchEnv(t)
-	rSmall := RandomSearch(small, 3, 5000, 11)
+	rSmall := RandomSearch(context.Background(), small, 3, 5000, 11)
 	big, err := env.New(env.Config{
 		Cache:      cache.Config{NumBlocks: 2, NumWays: 2},
 		AttackerLo: 1, AttackerHi: 2,
@@ -130,7 +131,7 @@ func TestRandomVsExpectedScaling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rBig := RandomSearch(big, 5, 50000, 11)
+	rBig := RandomSearch(context.Background(), big, 5, 50000, 11)
 	if !rSmall.Found || !rBig.Found {
 		t.Fatalf("searches should succeed: small=%v big=%v", rSmall.Found, rBig.Found)
 	}
