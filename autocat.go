@@ -38,6 +38,7 @@ import (
 	"autocat/internal/env"
 	"autocat/internal/hw"
 	"autocat/internal/nn"
+	"autocat/internal/obs"
 	"autocat/internal/rl"
 	"autocat/internal/search"
 	"autocat/internal/svm"
@@ -463,6 +464,43 @@ func CanonicalizeAttack(e *Env, actions []int) string { return campaign.Canonica
 func CampaignWriterProgress(w io.Writer) func(CampaignProgress) {
 	return campaign.WriterProgress(w)
 }
+
+// Telemetry surface (internal/obs): the per-run event journal, the
+// metrics snapshot, and the live debug endpoint.
+type (
+	// Journal is an append-only JSONL telemetry sink; attach one to
+	// CampaignRunConfig.Journal to record campaign/job/epoch events.
+	Journal = obs.Journal
+	// TelemetryEvent is one journal record.
+	TelemetryEvent = obs.Event
+	// MetricsSnapshot is a point-in-time copy of the metrics registry.
+	MetricsSnapshot = obs.Snapshot
+	// DebugServer serves /metrics and /debug/pprof for a live process.
+	DebugServer = obs.DebugServer
+	// RunReport is the digest `autocat stats` builds from a journal.
+	RunReport = obs.RunReport
+)
+
+// OpenJournal opens (creating if needed) an append-mode telemetry
+// journal, terminating any torn tail left by a crashed run.
+func OpenJournal(path string) (*Journal, error) { return obs.OpenJournal(path) }
+
+// ReadJournal parses a telemetry journal, skipping malformed lines and
+// reporting how many were skipped.
+func ReadJournal(path string) ([]TelemetryEvent, int, error) { return obs.ReadJournal(path) }
+
+// BuildRunReport digests journal events into a run report; normalize,
+// when non-nil, canonicalises scenario names before aggregation.
+func BuildRunReport(events []TelemetryEvent, normalize func(string) string) *RunReport {
+	return obs.BuildRunReport(events, normalize)
+}
+
+// StartDebugServer serves a JSON metrics snapshot at /metrics and the
+// pprof handlers at /debug/pprof on addr until Close.
+func StartDebugServer(addr string) (*DebugServer, error) { return obs.StartDebugServer(addr) }
+
+// TakeMetricsSnapshot copies every registered metric.
+func TakeMetricsSnapshot() MetricsSnapshot { return obs.TakeSnapshot() }
 
 // Analysis and search surfaces.
 type (

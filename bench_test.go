@@ -157,11 +157,12 @@ func BenchmarkCampaignWorkersNumCPU(b *testing.B) {
 // The bodies live in internal/bench so `cmd/autocat-bench -json` measures
 // the exact same workloads CI smoke-tests here.
 
-func BenchmarkStepHot(b *testing.B)         { bench.StepHot(b) }
-func BenchmarkStepHotDefended(b *testing.B) { bench.StepHotDefended(b) }
-func BenchmarkRolloutSteps(b *testing.B)    { bench.RolloutSteps(b) }
-func BenchmarkPPOEpoch(b *testing.B)        { bench.PPOEpoch(b) }
-func BenchmarkArtifactReplay(b *testing.B)  { bench.ArtifactReplay(b) }
+func BenchmarkStepHot(b *testing.B)             { bench.StepHot(b) }
+func BenchmarkStepHotInstrumented(b *testing.B) { bench.StepHotInstrumented(b) }
+func BenchmarkStepHotDefended(b *testing.B)     { bench.StepHotDefended(b) }
+func BenchmarkRolloutSteps(b *testing.B)        { bench.RolloutSteps(b) }
+func BenchmarkPPOEpoch(b *testing.B)            { bench.PPOEpoch(b) }
+func BenchmarkArtifactReplay(b *testing.B)      { bench.ArtifactReplay(b) }
 
 // Micro-benchmarks of the substrates.
 

@@ -43,6 +43,13 @@ type hotpathStats struct {
 	StepNsPerOp     float64 `json:"step_ns_per_op"`
 	StepAllocsPerOp float64 `json:"step_allocs_per_op"`
 	StepsPerSec     float64 `json:"steps_per_sec"`
+	// InstrumentedStepNs is the same loop with the telemetry counter
+	// flush enabled (the production default; StepNsPerOp disables it).
+	// The observability contract: 0 allocs/op and within a few percent
+	// of the uninstrumented loop. InstrumentedStepAllocs is gated
+	// strictly like the other alloc counts.
+	InstrumentedStepNs     float64 `json:"instrumented_step_ns,omitempty"`
+	InstrumentedStepAllocs float64 `json:"instrumented_step_allocs_per_op,omitempty"`
 	// DefendedStepNs is the StepHot loop with the CEASER keyed remap and
 	// rekeying enabled (internal/bench.DefendedEnvConfig): the defense
 	// suite sits on the set-lookup hot path, so -compare gates its cost
@@ -72,6 +79,8 @@ type hotpathReport struct {
 func measureHotpath() hotpathStats {
 	fmt.Println("measuring env.StepInto + cache.Access loop ...")
 	step := testing.Benchmark(bench.StepHot)
+	fmt.Println("measuring instrumented (telemetry-enabled) step loop ...")
+	instrumented := testing.Benchmark(bench.StepHotInstrumented)
 	fmt.Println("measuring defended (ceaser-rekeyed) step loop ...")
 	defended := testing.Benchmark(bench.StepHotDefended)
 	fmt.Println("measuring vectorized lockstep rollout ...")
@@ -89,18 +98,20 @@ func measureHotpath() hotpathStats {
 
 	stepNs := float64(step.NsPerOp())
 	return hotpathStats{
-		Description:        "measured by cmd/autocat-bench",
-		StepNsPerOp:        stepNs,
-		StepAllocsPerOp:    float64(step.AllocsPerOp()),
-		StepsPerSec:        1e9 / stepNs,
-		DefendedStepNs:     float64(defended.NsPerOp()),
-		DefendedStepAllocs: float64(defended.AllocsPerOp()),
-		RolloutStepsSec:    roll.Extra["steps/s"],
-		PPOEpochStepsSec:   ppo.Extra["steps/s"],
-		CampaignJobsSec:    camp.Extra["jobs/s"],
-		ApplyNsPerSample:   float64(apply.NsPerOp()) / bench.ApplyBatchRows,
-		GradNsPerSample:    float64(grad.NsPerOp()) / bench.ApplyBatchRows,
-		ArtifactReplayNs:   float64(replay.NsPerOp()),
+		Description:            "measured by cmd/autocat-bench",
+		StepNsPerOp:            stepNs,
+		StepAllocsPerOp:        float64(step.AllocsPerOp()),
+		StepsPerSec:            1e9 / stepNs,
+		InstrumentedStepNs:     float64(instrumented.NsPerOp()),
+		InstrumentedStepAllocs: float64(instrumented.AllocsPerOp()),
+		DefendedStepNs:         float64(defended.NsPerOp()),
+		DefendedStepAllocs:     float64(defended.AllocsPerOp()),
+		RolloutStepsSec:        roll.Extra["steps/s"],
+		PPOEpochStepsSec:       ppo.Extra["steps/s"],
+		CampaignJobsSec:        camp.Extra["jobs/s"],
+		ApplyNsPerSample:       float64(apply.NsPerOp()) / bench.ApplyBatchRows,
+		GradNsPerSample:        float64(grad.NsPerOp()) / bench.ApplyBatchRows,
+		ArtifactReplayNs:       float64(replay.NsPerOp()),
 	}
 }
 
@@ -126,6 +137,9 @@ func runHotpath(path string) error {
 	}
 	fmt.Printf("step hot path: %.1f ns/op, %.0f allocs/op (%.2fM steps/s, %.2fx baseline)\n",
 		cur.StepNsPerOp, cur.StepAllocsPerOp, cur.StepsPerSec/1e6, cur.StepsPerSec/hotpathBaseline.StepsPerSec)
+	fmt.Printf("instrumented step: %.1f ns/op, %.0f allocs/op (%+.1f%% vs uninstrumented)\n",
+		cur.InstrumentedStepNs, cur.InstrumentedStepAllocs,
+		(cur.InstrumentedStepNs/cur.StepNsPerOp-1)*100)
 	fmt.Printf("defended step: %.1f ns/op, %.0f allocs/op (ceaser keyed remap + rekeying)\n",
 		cur.DefendedStepNs, cur.DefendedStepAllocs)
 	fmt.Printf("rollout:       %.0f steps/s\n", cur.RolloutStepsSec)
@@ -149,6 +163,7 @@ type hotpathMetric struct {
 
 var hotpathMetrics = []hotpathMetric{
 	{"steps_per_sec", func(s *hotpathStats) float64 { return s.StepsPerSec }, true},
+	{"instrumented_step_ns", func(s *hotpathStats) float64 { return s.InstrumentedStepNs }, false},
 	{"defended_step_ns", func(s *hotpathStats) float64 { return s.DefendedStepNs }, false},
 	{"rollout_steps_per_sec", func(s *hotpathStats) float64 { return s.RolloutStepsSec }, true},
 	{"ppo_epoch_steps_per_sec", func(s *hotpathStats) float64 { return s.PPOEpochStepsSec }, true},
@@ -205,6 +220,14 @@ func runCompare(path string, tolerance float64) error {
 	} else {
 		fmt.Printf("  %-32s %12g -> %12g  ok (strict)\n",
 			"step_allocs_per_op", ref.Current.StepAllocsPerOp, cur.StepAllocsPerOp)
+	}
+	if cur.InstrumentedStepAllocs > ref.Current.InstrumentedStepAllocs {
+		fmt.Printf("  %-32s %12g -> %12g  REGRESSION (strict)\n",
+			"instrumented_step_allocs_per_op", ref.Current.InstrumentedStepAllocs, cur.InstrumentedStepAllocs)
+		failures = append(failures, "instrumented_step_allocs_per_op")
+	} else {
+		fmt.Printf("  %-32s %12g -> %12g  ok (strict)\n",
+			"instrumented_step_allocs_per_op", ref.Current.InstrumentedStepAllocs, cur.InstrumentedStepAllocs)
 	}
 	if cur.DefendedStepAllocs > ref.Current.DefendedStepAllocs {
 		fmt.Printf("  %-32s %12g -> %12g  REGRESSION (strict)\n",

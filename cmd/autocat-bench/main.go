@@ -23,6 +23,7 @@ import (
 	"runtime/pprof"
 
 	"autocat/internal/exp"
+	"autocat/internal/obs"
 )
 
 func main() {
@@ -40,11 +41,20 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.15, "fractional regression tolerated by -compare (allocs/op are gated strictly)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	debugAddr := flag.String("debug-addr", "", "serve a live JSON metrics snapshot at /metrics and pprof at /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *debugAddr != "" {
+		ds, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			fail(err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/metrics (pprof under /debug/pprof/)\n", ds.Addr())
 	}
 	// finish flushes the profiles; it must run before any os.Exit, so the
 	// error paths call it explicitly instead of relying on defers.

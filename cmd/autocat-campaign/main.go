@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -45,6 +46,8 @@ func main() {
 	artifacts := fs.String("artifacts", "", "artifact-store directory: persist every reliable attack as a content-addressed, replayable artifact (empty disables)")
 	searchBudget := fs.Int("search-budget", 0, "search explorer: candidate sequences per prefix length (0 = default 4096)")
 	searchMaxLen := fs.Int("search-max-len", 0, "search explorer: longest prefix tried (0 = auto)")
+	debugAddr := fs.String("debug-addr", "", "serve a live JSON metrics snapshot at /metrics and pprof at /debug/pprof on this address (empty disables)")
+	journalPath := fs.String("journal", "auto", "telemetry journal path; 'auto' writes telemetry.jsonl next to the checkpoint, 'off' disables")
 
 	// Grid flags, used when -spec is absent.
 	name := fs.String("name", "cli", "campaign name")
@@ -120,6 +123,32 @@ func main() {
 	}
 	if !*quiet {
 		rc.Progress = autocat.CampaignWriterProgress(os.Stdout)
+	}
+
+	if *debugAddr != "" {
+		ds, err := autocat.StartDebugServer(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer ds.Close()
+		fmt.Printf("debug endpoint: http://%s/metrics (pprof under /debug/pprof/)\n", ds.Addr())
+	}
+	switch *journalPath {
+	case "off", "none", "":
+	default:
+		path := *journalPath
+		if path == "auto" {
+			if *checkpoint == "" {
+				break // no run directory to anchor the journal in
+			}
+			path = filepath.Join(filepath.Dir(*checkpoint), "telemetry.jsonl")
+		}
+		j, err := autocat.OpenJournal(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer j.Close()
+		rc.Journal = j
 	}
 
 	if *stages {

@@ -8,6 +8,7 @@
 //	autocat covert   [flags]   measure the Table X covert channels
 //	autocat search   [flags]   run the §VI-A random-search baseline
 //	autocat replay   [flags]   replay and verify stored attack artifacts
+//	autocat stats    [flags]   report on a campaign run's telemetry journal
 package main
 
 import (
@@ -33,6 +34,8 @@ func main() {
 		searchCmd(os.Args[2:])
 	case "replay":
 		replayCmd(os.Args[2:])
+	case "stats":
+		statsCmd(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -40,7 +43,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: autocat <explore|covert|search|replay> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: autocat <explore|covert|search|replay|stats> [flags]")
 }
 
 func explore(args []string) {

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"autocat"
+)
+
+// statsCmd reads a campaign run's telemetry journal and prints the run
+// report: throughput over time, PPO effort per job, time to first
+// reliable attack per scenario, and the catalog dedup rate.
+func statsCmd(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	journal := fs.String("journal", "", "journal path (default <run-dir>/telemetry.jsonl)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: autocat stats [flags] [run-dir]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	path := *journal
+	if path == "" {
+		dir := fs.Arg(0)
+		if dir == "" {
+			dir = "."
+		}
+		path = filepath.Join(dir, "telemetry.jsonl")
+	}
+	events, skipped, err := autocat.ReadJournal(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "autocat stats: %v\n", err)
+		os.Exit(1)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "warning: skipped %d malformed journal line(s)\n", skipped)
+	}
+	autocat.BuildRunReport(events, normalizeScenario).Format(os.Stdout)
+}
+
+// normalizeScenario strips the explorer-kind path segment from scenario
+// names (it sits between the address ranges and the seed, e.g.
+// ".../v0-0/search/s7"), so a scenario escalated across stages — solved
+// by different explorers — aggregates as one row in the report.
+func normalizeScenario(name string) string {
+	for _, kind := range []autocat.ExplorerKind{autocat.ExplorerSearch, autocat.ExplorerProbe, autocat.ExplorerPPO} {
+		name = strings.ReplaceAll(name, "/"+string(kind)+"/", "/")
+		name = strings.TrimSuffix(name, "/"+string(kind))
+	}
+	return name
+}

@@ -14,6 +14,7 @@ import (
 	"autocat/internal/core"
 	"autocat/internal/env"
 	"autocat/internal/nn"
+	"autocat/internal/obs"
 	"autocat/internal/rl"
 )
 
@@ -40,11 +41,12 @@ func mustEnv(b *testing.B, cfg env.Config) *env.Env {
 	return e
 }
 
-// StepHot drives the env.StepInto + cache.Access loop exactly as a
-// rollout actor does — observation written into a caller-owned buffer,
-// mixing accesses with victim triggers. Steady state must be 0 allocs/op.
-func StepHot(b *testing.B) {
-	e := mustEnv(b, HotEnvConfig())
+// stepLoop is the shared body of the step benchmarks: the env.StepInto +
+// cache.Access loop exactly as a rollout actor drives it — observation
+// written into a caller-owned buffer, mixing accesses with victim
+// triggers. Steady state must be 0 allocs/op.
+func stepLoop(b *testing.B, cfg env.Config) {
+	e := mustEnv(b, cfg)
 	obs := make([]float64, e.ObsDim())
 	b.ReportAllocs()
 	e.ResetInto(obs)
@@ -60,6 +62,26 @@ func StepHot(b *testing.B) {
 			e.ResetInto(obs)
 		}
 	}
+}
+
+// StepHot measures the raw step loop with telemetry flushing disabled —
+// the uninstrumented floor the instrumented variant is gated against.
+func StepHot(b *testing.B) {
+	prev := obs.Enabled()
+	obs.SetEnabled(false)
+	b.Cleanup(func() { obs.SetEnabled(prev) })
+	stepLoop(b, HotEnvConfig())
+}
+
+// StepHotInstrumented is StepHot with the telemetry counter flush
+// enabled (the production default). The instrumented_step_ns metric in
+// BENCH_hotpath.json tracks this loop; it must stay 0 allocs/op and
+// within a few percent of the uninstrumented StepHot.
+func StepHotInstrumented(b *testing.B) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	b.Cleanup(func() { obs.SetEnabled(prev) })
+	stepLoop(b, HotEnvConfig())
 }
 
 // DefendedEnvConfig is HotEnvConfig hardened with the CEASER keyed
@@ -77,22 +99,7 @@ func DefendedEnvConfig() env.Config {
 // StepHotDefended is StepHot on the defended environment; steady state
 // must also be 0 allocs/op, rekeys included.
 func StepHotDefended(b *testing.B) {
-	e := mustEnv(b, DefendedEnvConfig())
-	obs := make([]float64, e.ObsDim())
-	b.ReportAllocs()
-	e.ResetInto(obs)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		var action int
-		if i%5 == 4 {
-			action = e.VictimAction()
-		} else {
-			action = e.AccessAction(cache.Addr(i & 3))
-		}
-		if _, done := e.StepInto(action, obs); done {
-			e.ResetInto(obs)
-		}
-	}
+	stepLoop(b, DefendedEnvConfig())
 }
 
 // PPOEpochSteps is the per-epoch step budget of the PPOEpoch benchmark.

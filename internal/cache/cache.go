@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+
+	"autocat/internal/obs"
 )
 
 // Addr is a cache-line-granular address, a small integer exactly as in the
@@ -81,6 +83,15 @@ type Cache struct {
 	evScratch []Eviction
 	pfScratch []Addr
 	elScratch []bool
+
+	// Telemetry accumulators: plain fields, not atomics — the cache is
+	// single-goroutine (one per env), so the access hot path pays one
+	// integer add and the totals migrate to the process-wide obs
+	// registry in bulk at every Reset (i.e. per episode).
+	obsAccesses uint64
+	obsHits     uint64
+	obsFlushes  uint64
+	obsRekeys   uint64
 }
 
 // New builds a cache from cfg. It panics if cfg is invalid; use
@@ -196,6 +207,10 @@ func (c *Cache) Access(a Addr, dom Domain) Result {
 	}
 	c.evScratch = c.evScratch[:0]
 	res := c.demand(a, dom)
+	c.obsAccesses++
+	if res.Hit {
+		c.obsHits++
+	}
 	pf := c.prefetch.after(a, c.pfScratch[:0])
 	kept := pf[:0]
 	for _, pa := range pf {
@@ -296,6 +311,7 @@ func (c *Cache) install(si int, a Addr, dom Domain) bool {
 // only protected from the attacker's *eviction*, and the environment
 // never exposes flush in PL-cache experiments).
 func (c *Cache) Flush(a Addr) bool {
+	c.obsFlushes++
 	if c.defense == DefenseSkew {
 		w, si := c.skewFind(a)
 		if w < 0 {
@@ -408,11 +424,30 @@ func (c *Cache) PolicyState(si int) []int { return c.policy.State(si) }
 // than the rekey period still face a mapping that drifts between (and
 // within) episodes rather than a silently static key.
 func (c *Cache) Reset() {
+	c.flushObs()
 	for i := range c.lines {
 		c.lines[i] = line{}
 	}
 	c.policy.Reset()
 	c.prefetch.reset()
+}
+
+// flushObs migrates the locally-accumulated telemetry counts into the
+// process-wide registry and zeroes them. Riding on Reset keeps the
+// access path free of atomics; counts from a cache that is dropped
+// without a final Reset are lost, which lossy telemetry tolerates.
+func (c *Cache) flushObs() {
+	if c.obsAccesses == 0 && c.obsFlushes == 0 && c.obsRekeys == 0 {
+		return
+	}
+	if obs.Enabled() {
+		obs.CacheAccesses.Add(c.obsAccesses)
+		obs.CacheHits.Add(c.obsHits)
+		obs.CacheMisses.Add(c.obsAccesses - c.obsHits)
+		obs.CacheFlushes.Add(c.obsFlushes)
+		obs.CacheRekeys.Add(c.obsRekeys)
+	}
+	c.obsAccesses, c.obsHits, c.obsFlushes, c.obsRekeys = 0, 0, 0, 0
 }
 
 // ResidentAddrs lists all resident addresses in ascending order, a

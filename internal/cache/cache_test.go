@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"autocat/internal/obs"
 )
 
 func newLRU4(t *testing.T) *Cache {
@@ -403,6 +405,36 @@ func TestAccessZeroAllocsWithPrefetcher(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("Access with prefetcher allocates %.2f objects per call, want 0", avg)
+	}
+}
+
+// TestAccessZeroAllocsWithTelemetry proves the telemetry satellite
+// contract: with metrics enabled, Access and the per-episode counter
+// flush in Reset stay allocation-free, and the flush really advances
+// the global counters.
+func TestAccessZeroAllocsWithTelemetry(t *testing.T) {
+	if !obs.Enabled() {
+		t.Fatal("telemetry must be enabled for this guard (it is the default)")
+	}
+	c := New(Config{NumBlocks: 64, NumWays: 8, Policy: LRU, Seed: 9})
+	for a := Addr(0); a < 512; a++ {
+		c.Access(a, DomainAttacker)
+	}
+	before := obs.CacheAccesses.Load()
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		c.Access(Addr(i%256), Domain(1+i%2))
+		if i%100 == 99 {
+			c.Reset() // flushes local counters into the registry
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("instrumented Access+Reset allocates %.2f objects per call, want 0", avg)
+	}
+	c.Reset()
+	if delta := obs.CacheAccesses.Load() - before; delta == 0 {
+		t.Fatal("cache.accesses_total did not advance; instrumentation is dead")
 	}
 }
 

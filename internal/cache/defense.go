@@ -164,6 +164,7 @@ type migrant struct {
 // hardware where the gradual CEASER remap is not attributable to any
 // security domain.
 func (c *Cache) rekeyNow() {
+	c.obsRekeys++
 	c.mapper.rekey()
 	mig := c.migScratch[:0]
 	for si := 0; si < c.nsets; si++ {

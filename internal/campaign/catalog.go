@@ -8,6 +8,7 @@ import (
 
 	"autocat/internal/cache"
 	"autocat/internal/env"
+	"autocat/internal/obs"
 )
 
 // catalogShards is the stripe count of the attack catalog. Power of two
@@ -117,6 +118,7 @@ func (s *catalogShard) record(key, sequence, category, job string, accuracy floa
 // recordMiss inserts a novel attack; the shard mutex must be held.
 func (s *catalogShard) recordMiss(key, sequence, category, job string, accuracy float64) {
 	s.misses++
+	obs.CatalogNovel.Inc()
 	s.entries[key] = &Entry{
 		Key:          key,
 		Sequence:     sequence,
@@ -131,6 +133,7 @@ func (s *catalogShard) recordMiss(key, sequence, category, job string, accuracy 
 // held.
 func (s *catalogShard) recordHit(e *Entry, job string, accuracy float64) {
 	s.hits++
+	obs.CatalogRediscoveries.Inc()
 	e.Count++
 	e.Jobs = append(e.Jobs, job)
 	if accuracy > e.BestAccuracy {

@@ -12,6 +12,7 @@ import (
 	"autocat/internal/detect"
 	"autocat/internal/env"
 	"autocat/internal/nn"
+	"autocat/internal/obs"
 	"autocat/internal/rl"
 )
 
@@ -62,6 +63,15 @@ type Progress struct {
 	Result *JobResult
 	// CatalogSize is the current number of distinct attacks.
 	CatalogSize int
+	// Elapsed is the wall-clock time since the campaign started.
+	Elapsed time.Duration
+	// JobsPerSec is the completion rate of jobs run this invocation
+	// (resumed jobs cost no wall clock, so they are excluded). Zero
+	// until the first job finishes.
+	JobsPerSec float64
+	// ETA estimates the remaining wall-clock time at the current rate;
+	// zero when no rate is known yet or nothing remains.
+	ETA time.Duration
 }
 
 // Runner executes one job and returns its result with JobID, Index,
@@ -85,9 +95,19 @@ type RunConfig struct {
 	// convention); 0 means 1.0.
 	Scale float64
 	// Progress, when set, receives an event after every job completion.
-	// It is called from worker goroutines under the scheduler lock, so
-	// it needs no synchronization of its own but should return quickly.
+	// Events are delivered from a dedicated dispatcher goroutine (so a
+	// slow sink never stalls workers) in completion order; it needs no
+	// synchronization of its own. When the sink falls more than
+	// ProgressBuffer events behind, further events are dropped and
+	// counted in the campaign.progress_dropped_total metric. All
+	// buffered events are delivered before Run returns.
 	Progress func(Progress)
+	// ProgressBuffer is the dispatcher's buffer size; 0 means 256.
+	ProgressBuffer int
+	// Journal, when set, receives the run's telemetry events
+	// (campaign/job lifecycle, first-reliable-attack marks, per-epoch
+	// training stats) — see internal/obs. Nil disables journaling.
+	Journal *obs.Journal
 	// Artifacts is the artifact-store directory: every reliable attack
 	// persists as a content-addressed, deterministically replayable
 	// artifact next to the checkpoint. Empty disables persistence.
@@ -163,6 +183,11 @@ func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
 			return nil, err
 		}
 	}
+	// firstReliable marks scenario names that already produced a
+	// reliable attack, so job.first_reliable journals exactly once per
+	// scenario; resumed attacks pre-seed it (their first-reliable event
+	// is already in the journal from the earlier invocation).
+	firstReliable := map[string]bool{}
 	var pending []Job
 	for _, job := range jobs {
 		prev, ok := done[job.ID]
@@ -187,7 +212,16 @@ func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
 		if prev.Canonical != "" {
 			res.Catalog.Record(prev.Canonical, prev.Sequence, prev.Category, prev.Name, prev.Accuracy)
 		}
+		if prev.Sequence != "" {
+			firstReliable[prev.Name] = true
+		}
 	}
+	rc.Journal.Emit(obs.Event{Kind: obs.EvCampaignStart, Name: spec.Name, Data: map[string]any{
+		"jobs":    len(jobs),
+		"pending": len(pending),
+		"resumed": res.Resumed,
+		"workers": rc.Workers,
+	}})
 
 	var ckpt *checkpointWriter
 	if rc.Checkpoint != "" {
@@ -197,22 +231,53 @@ func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
 		defer ckpt.Close()
 	}
 
-	var mu sync.Mutex // guards res counters, Jobs slice, and Progress
+	var mu sync.Mutex // guards res counters, Jobs slice, and journal ordering
+
+	// Progress dispatcher: workers hand events to a buffered channel and
+	// a single goroutine calls the user's sink, so a slow sink stalls
+	// the dispatcher, not the workers. Overflow drops the event (and
+	// counts the drop) rather than blocking under mu.
+	var progCh chan Progress
+	var progWG sync.WaitGroup
+	if rc.Progress != nil {
+		buf := rc.ProgressBuffer
+		if buf <= 0 {
+			buf = 256
+		}
+		progCh = make(chan Progress, buf)
+		progWG.Add(1)
+		go func() {
+			defer progWG.Done()
+			for p := range progCh {
+				rc.Progress(p)
+			}
+		}()
+	}
 	emit := func(jr *JobResult) {
-		if rc.Progress == nil {
+		if progCh == nil {
 			return
 		}
-		rc.Progress(Progress{
+		p := Progress{
 			Done:        res.Resumed + res.Completed,
 			Total:       len(jobs),
 			Resumed:     res.Resumed,
 			Result:      jr,
 			CatalogSize: res.Catalog.Len(),
-		})
+			Elapsed:     time.Since(start),
+		}
+		if res.Completed > 0 && p.Elapsed > 0 {
+			p.JobsPerSec = float64(res.Completed) / p.Elapsed.Seconds()
+			if rem := len(jobs) - p.Done; rem > 0 {
+				p.ETA = time.Duration(float64(rem) / p.JobsPerSec * float64(time.Second))
+			}
+		}
+		select {
+		case progCh <- p:
+		default:
+			obs.CampaignProgressDrops.Inc()
+		}
 	}
-	mu.Lock()
 	emit(nil)
-	mu.Unlock()
 
 	// A dead checkpoint means resume would silently repeat work: treat
 	// a write failure like a cancellation — stop dispatching, finish
@@ -242,7 +307,19 @@ func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
 				// — no oversubscription however the two sizes relate.
 				nn.AcquireComputeToken()
 				t0 := time.Now()
-				jr := rc.Runner(ctx, job)
+				rc.Journal.Emit(obs.Event{Kind: obs.EvJobStart, Job: job.ID, Name: job.Scenario.Name,
+					Data: map[string]any{"explorer": job.Scenario.Explorer}})
+				// Scope the job's context so telemetry emitted inside the
+				// explorer (per-epoch stats, spans) lands in the journal
+				// with this job's attribution. Explorer configs stay
+				// untouched — they feed ParamsHash.
+				jctx := ctx
+				if rc.Journal != nil {
+					jctx = obs.WithScope(ctx, obs.Scope{
+						Journal: rc.Journal, Job: job.ID, Name: job.Scenario.Name,
+					})
+				}
+				jr := rc.Runner(jctx, job)
 				nn.ReleaseComputeToken()
 				// Once cancelled, an error result is presumed an abort
 				// artifact (runners may wrap the context error): drop
@@ -257,13 +334,24 @@ func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
 				jr.Name = job.Scenario.Name
 				jr.Seed = job.Scenario.Env.Seed
 				jr.Explorer = job.Scenario.Explorer
-				jr.DurationMS = time.Since(t0).Milliseconds()
+				dur := time.Since(t0)
+				jr.DurationMS = dur.Milliseconds()
 
 				// The catalog is sharded and safe on its own; recording
 				// outside the scheduler lock keeps worker completions
 				// contending only on their key's stripe.
+				novel := false
 				if jr.Canonical != "" {
-					res.Catalog.Record(jr.Canonical, jr.Sequence, jr.Category, jr.Name, jr.Accuracy)
+					novel = res.Catalog.Record(jr.Canonical, jr.Sequence, jr.Category, jr.Name, jr.Accuracy)
+				}
+
+				obs.CampaignJobsDone.Inc()
+				obs.CampaignJobNs.Observe(dur.Nanoseconds())
+				if jr.Error != "" {
+					obs.CampaignJobsFailed.Inc()
+				}
+				if jr.Sequence != "" {
+					obs.CampaignAttacks.Inc()
 				}
 
 				mu.Lock()
@@ -272,6 +360,17 @@ func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
 				if jr.Error != "" {
 					res.Failed++
 				}
+				if jr.Sequence != "" && !firstReliable[jr.Name] {
+					firstReliable[jr.Name] = true
+					rc.Journal.Emit(obs.Event{Kind: obs.EvFirstReliable, Job: job.ID, Name: jr.Name,
+						DurMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+						Data: map[string]any{
+							"sequence": jr.Sequence,
+							"category": jr.Category,
+							"accuracy": jr.Accuracy,
+						}})
+				}
+				rc.Journal.Emit(jobDoneEvent(&jr, novel, res.Catalog.Len()))
 				if ckpt != nil && ckptErr == nil {
 					if err := ckpt.Append(jr); err != nil {
 						ckptErr = fmt.Errorf("campaign: checkpoint write: %w", err)
@@ -295,10 +394,48 @@ dispatch:
 	close(feed)
 	wg.Wait()
 	res.Elapsed = time.Since(start)
+	rc.Journal.Emit(obs.Event{Kind: obs.EvCampaignDone, Name: spec.Name,
+		DurMS: float64(res.Elapsed.Nanoseconds()) / 1e6,
+		Data: map[string]any{
+			"completed": res.Completed,
+			"failed":    res.Failed,
+			"resumed":   res.Resumed,
+			"catalog":   res.Catalog.Len(),
+		}})
+	// Drain the dispatcher: every buffered event reaches the sink (and
+	// the sink has returned) before Run does, so callers may inspect
+	// sink state immediately after.
+	if progCh != nil {
+		close(progCh)
+		progWG.Wait()
+	}
 	if ckptErr != nil {
 		return res, ckptErr
 	}
 	return res, ctx.Err()
+}
+
+// jobDoneEvent shapes one finished job as a journal event.
+func jobDoneEvent(jr *JobResult, novel bool, catalogLen int) obs.Event {
+	data := map[string]any{
+		"explorer": jr.Explorer,
+		"accuracy": jr.Accuracy,
+		"epochs":   jr.Epochs,
+		"catalog":  catalogLen,
+	}
+	if jr.Converged {
+		data["converged"] = true
+	}
+	if jr.Sequence != "" {
+		data["attack"] = true
+		data["category"] = jr.Category
+		data["novel"] = novel
+	}
+	if jr.Error != "" {
+		data["error"] = jr.Error
+	}
+	return obs.Event{Kind: obs.EvJobDone, Job: jr.JobID, Name: jr.Name,
+		DurMS: float64(jr.DurationMS), Data: data}
 }
 
 // explorerTrainWorkers is the gradient shard count ExplorerRunner pins
@@ -505,8 +642,15 @@ func WriterProgress(w io.Writer) func(Progress) {
 		if r.Error != "" {
 			status = "error: " + r.Error
 		}
-		fmt.Fprintf(w, "[%d/%d] %-40s %-26s acc=%.3f %5.1fs  (catalog %d)\n",
+		pace := ""
+		if p.JobsPerSec > 0 {
+			pace = fmt.Sprintf(", %.2f jobs/s", p.JobsPerSec)
+			if p.ETA > 0 {
+				pace += ", eta " + p.ETA.Round(time.Second).String()
+			}
+		}
+		fmt.Fprintf(w, "[%d/%d] %-40s %-26s acc=%.3f %5.1fs  (catalog %d%s)\n",
 			p.Done, p.Total, r.Name, status, r.Accuracy,
-			float64(r.DurationMS)/1000, p.CatalogSize)
+			float64(r.DurationMS)/1000, p.CatalogSize, pace)
 	}
 }

@@ -11,6 +11,8 @@ package campaign
 import (
 	"context"
 	"fmt"
+
+	"autocat/internal/obs"
 )
 
 // StageResult is one escalation stage's campaign outcome.
@@ -73,10 +75,13 @@ func RunStaged(ctx context.Context, spec Spec, rc RunConfig, explorers []string)
 		if len(pending) == 0 {
 			break
 		}
+		stageLabel := fmt.Sprintf("stage%d-%s", si+1, explorerLabel(kind))
 		stageSpec := Spec{
-			Name:      fmt.Sprintf("%s/stage%d-%s", spec.Name, si+1, explorerLabel(kind)),
+			Name:      spec.Name + "/" + stageLabel,
 			Scenarios: withExplorer(pending, kind),
 		}
+		rc.Journal.Emit(obs.Event{Kind: obs.EvStageStart, Name: spec.Name, Stage: stageLabel,
+			Data: map[string]any{"explorer": explorerLabel(kind), "jobs": len(pending)}})
 		res, err := Run(ctx, stageSpec, rc)
 		if res != nil {
 			staged.Stages = append(staged.Stages, StageResult{Explorer: kind, Result: res})
@@ -94,9 +99,23 @@ func RunStaged(ctx context.Context, spec Spec, rc RunConfig, explorers []string)
 		var next []Scenario
 		for i, jr := range res.Jobs {
 			if jr.Error != "" || jr.Sequence == "" {
+				if si+1 < len(kinds) {
+					rc.Journal.Emit(obs.Event{Kind: obs.EvEscalate, Name: pending[i].Name, Stage: stageLabel,
+						Data: map[string]any{
+							"from": explorerLabel(kind),
+							"to":   explorerLabel(kinds[si+1]),
+						}})
+				}
 				next = append(next, pending[i])
 			}
 		}
+		rc.Journal.Emit(obs.Event{Kind: obs.EvStageDone, Name: spec.Name, Stage: stageLabel,
+			Data: map[string]any{
+				"explorer":  explorerLabel(kind),
+				"jobs":      len(res.Jobs),
+				"solved":    len(res.Jobs) - len(next),
+				"escalated": len(next),
+			}})
 		pending = next
 	}
 	return staged, nil

@@ -24,6 +24,7 @@ import (
 	"autocat/internal/detect"
 	"autocat/internal/env"
 	"autocat/internal/nn"
+	"autocat/internal/obs"
 	"autocat/internal/rl"
 	"autocat/internal/search"
 )
@@ -100,6 +101,7 @@ type ReplaySpec struct {
 // bit-identical results; this is the contract campaign artifacts are
 // verified against.
 func Replay(spec ReplaySpec, cfg env.Config) (*Result, error) {
+	obs.Replays.Inc()
 	switch spec.Kind {
 	case ExplorerPPO, "":
 		return spec.runPPO(cfg)
@@ -363,6 +365,7 @@ func (b *PPOBackend) ParamsHash() string {
 // Explore trains a policy on the configuration and extracts the attack;
 // the result carries the trained net and its replay recipe.
 func (b *PPOBackend) Explore(ctx context.Context, cfg env.Config) (*Result, error) {
+	obs.Explorations.Inc()
 	c := Config{
 		Env:             cfg,
 		Envs:            b.opts.Envs,
@@ -429,6 +432,7 @@ func (b *SearchBackend) ParamsHash() string { return paramsHash(b.opts) }
 // Explore searches prefixes of increasing length until one
 // distinguishes every secret or the budget is exhausted.
 func (b *SearchBackend) Explore(ctx context.Context, cfg env.Config) (*Result, error) {
+	obs.Explorations.Inc()
 	opts := b.opts
 	scfg := searchEnvConfig(cfg)
 	e, err := env.New(scfg)
@@ -549,6 +553,7 @@ func (b *ProbeBackend) ParamsHash() string { return paramsHash(b.opts) }
 // environment and returns the best result (ties keep the first agent in
 // name order, so the choice is deterministic).
 func (b *ProbeBackend) Explore(ctx context.Context, cfg env.Config) (*Result, error) {
+	obs.Explorations.Inc()
 	episodes := b.opts.Episodes
 	if episodes <= 0 {
 		episodes = 64

@@ -11,6 +11,7 @@ package core
 // and review the diff — a changed golden means changed learning behavior.
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 
 	"autocat/internal/cache"
 	"autocat/internal/env"
+	"autocat/internal/obs"
 	"autocat/internal/rl"
 )
 
@@ -186,6 +188,93 @@ func TestGoldenTrainMLP(t *testing.T) {
 			MaxEpochs: 4, EvalEpisodes: 16, Workers: 4, Seed: 5,
 		},
 	})
+}
+
+// TestGoldenTrainMLPWithJournal reruns the MLP golden case with an
+// attached telemetry journal and a job-scoped context. The result must
+// stay byte-identical to the golden captured without telemetry —
+// observation must not perturb training — and the journal must still
+// record every epoch.
+func TestGoldenTrainMLPWithJournal(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden is owned by TestGoldenTrainMLP; this test only replays it")
+	}
+	cfg := Config{
+		Env: env.Config{
+			Cache:      cache.Config{NumBlocks: 2, NumWays: 2, Policy: cache.PLRU},
+			AttackerLo: 1, AttackerHi: 2,
+			VictimLo: 0, VictimHi: 0,
+			FlushEnable:    true,
+			VictimNoAccess: true,
+			WindowSize:     8,
+			Warmup:         -1,
+			Seed:           5,
+		},
+		Envs:         2,
+		Hidden:       []int{16, 16},
+		EvalEpisodes: 16,
+		PPO: rl.PPOConfig{
+			StepsPerEpoch: 512, MinibatchSize: 64, UpdateEpochs: 4,
+			MaxEpochs: 4, EvalEpisodes: 16, Workers: 4, Seed: 5,
+		},
+	}
+	path := filepath.Join(t.TempDir(), "telemetry.jsonl")
+	j, err := obs.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := obs.WithScope(context.Background(), obs.Scope{Journal: j, Job: "golden", Name: "golden_mlp"})
+	res := ex.RunContext(ctx)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := goldenTrain{
+		Sequence:      res.Sequence,
+		AttackOK:      res.AttackOK,
+		FinalAccuracy: res.Train.FinalAccuracy,
+		FinalLength:   res.Train.FinalLength,
+	}
+	for _, st := range res.Train.Stats {
+		got.Epochs = append(got.Epochs, goldenEpoch{
+			MeanReward: st.MeanReward, MeanLength: st.MeanLength,
+			Accuracy: st.Accuracy, GuessRate: st.GuessRate,
+			Entropy: st.Entropy, PolicyLoss: st.PolicyLoss, ValueLoss: st.ValueLoss,
+		})
+	}
+	var want goldenTrain
+	readGolden(t, "golden_train_mlp.json", &want)
+	if want.Sequence != got.Sequence {
+		t.Errorf("journal attachment changed the attack sequence:\n golden %q\n got    %q", want.Sequence, got.Sequence)
+	}
+	if want.AttackOK != got.AttackOK {
+		t.Errorf("journal attachment changed attack ok: golden %v, got %v", want.AttackOK, got.AttackOK)
+	}
+	if !bitsEqual(want.FinalAccuracy, got.FinalAccuracy) {
+		t.Errorf("journal attachment changed final accuracy: golden %v, got %v", want.FinalAccuracy, got.FinalAccuracy)
+	}
+	checkEpochs(t, want.Epochs, got.Epochs)
+
+	events, skipped, err := obs.ReadJournal(path)
+	if err != nil || skipped != 0 {
+		t.Fatalf("read journal: err=%v skipped=%d", err, skipped)
+	}
+	epochs := 0
+	for _, ev := range events {
+		if ev.Kind == obs.EvPPOEpoch {
+			epochs++
+			if ev.Job != "golden" {
+				t.Fatalf("ppo.epoch lost its scope attribution: %+v", ev)
+			}
+		}
+	}
+	if epochs != len(want.Epochs) {
+		t.Fatalf("journal has %d ppo.epoch events, training ran %d epochs", epochs, len(want.Epochs))
+	}
 }
 
 func TestGoldenTrainTransformer(t *testing.T) {

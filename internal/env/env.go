@@ -6,6 +6,7 @@ import (
 
 	"autocat/internal/cache"
 	"autocat/internal/detect"
+	"autocat/internal/obs"
 )
 
 // NoAccess is the sentinel secret meaning "the victim makes no access when
@@ -386,7 +387,26 @@ func (e *Env) StepInto(action int, obs []float64) (reward float64, done bool) {
 
 	e.trace = append(e.trace, step)
 	e.ObsInto(obs)
+	if e.done {
+		e.flushObs()
+	}
 	return reward, e.done
+}
+
+// flushObs publishes the finished episode's totals to the obs registry.
+// Only completed episodes count — an env reset mid-episode (e.g. a
+// discarded eval) contributes nothing — so the totals are a pure
+// function of the episodes played, identical for every kernel-worker
+// and actor-scheduling configuration. Runs once per episode, keeping
+// atomics out of the per-step path.
+func (e *Env) flushObs() {
+	if !obs.Enabled() {
+		return
+	}
+	obs.EnvSteps.Add(uint64(e.steps))
+	obs.EnvEpisodes.Inc()
+	obs.EnvGuesses.Add(uint64(e.guesses))
+	obs.EnvCorrectGuesses.Add(uint64(e.hits))
 }
 
 // Verdict returns the detector's end-of-episode verdict. The boolean is

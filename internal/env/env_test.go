@@ -6,6 +6,7 @@ import (
 
 	"autocat/internal/cache"
 	"autocat/internal/detect"
+	"autocat/internal/obs"
 )
 
 // fa4Config is the paper's config-6-like setup: 4-way fully associative
@@ -311,6 +312,48 @@ func TestStepIntoZeroAllocs(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("StepInto allocates %.2f objects per call in steady state, want 0", avg)
+	}
+}
+
+// TestStepIntoZeroAllocsWithTelemetry proves the telemetry satellite
+// contract: with metrics enabled, the step loop — including the
+// per-episode counter flush when an episode completes — stays
+// allocation-free, and the counters really advance.
+func TestStepIntoZeroAllocsWithTelemetry(t *testing.T) {
+	if !obs.Enabled() {
+		t.Fatal("telemetry must be enabled for this guard (it is the default)")
+	}
+	e := mustEnv(t, fa4Config())
+	ob := make([]float64, e.ObsDim())
+	e.ResetInto(ob)
+	for i := 0; i < 64; i++ {
+		if _, done := e.StepInto(e.AccessAction(cache.Addr(i%4)), ob); done {
+			e.ResetInto(ob)
+		}
+	}
+	stepsBefore := obs.EnvSteps.Load()
+	episodesBefore := obs.EnvEpisodes.Load()
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		var done bool
+		if i%5 == 4 {
+			_, done = e.StepInto(e.VictimAction(), ob)
+		} else {
+			_, done = e.StepInto(e.AccessAction(cache.Addr(i%4)), ob)
+		}
+		if done {
+			e.ResetInto(ob)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("instrumented StepInto allocates %.2f objects per call, want 0", avg)
+	}
+	if obs.EnvEpisodes.Load() == episodesBefore {
+		t.Fatal("no episode completed during the guard; flush path untested")
+	}
+	if obs.EnvSteps.Load() == stepsBefore {
+		t.Fatal("env.steps_total did not advance; instrumentation is dead")
 	}
 }
 

@@ -31,6 +31,9 @@ package nn
 import (
 	"runtime"
 	"sync"
+	"time"
+
+	"autocat/internal/obs"
 )
 
 // tokenPool is the process-wide compute-token semaphore.
@@ -78,9 +81,17 @@ func KernelWorkers() int {
 // consumers must use TryAcquireComputeToken.
 func AcquireComputeToken() {
 	compute.mu.Lock()
-	for compute.used >= compute.cap {
-		compute.cond.Wait()
+	if compute.used >= compute.cap {
+		// Timed only when actually blocking, so the uncontended acquire
+		// pays nothing beyond one counter bump.
+		t0 := time.Now()
+		for compute.used >= compute.cap {
+			compute.cond.Wait()
+		}
+		obs.SchedWaits.Inc()
+		obs.SchedWaitNs.Observe(time.Since(t0).Nanoseconds())
 	}
+	obs.SchedAcquires.Inc()
 	compute.used++
 	compute.mu.Unlock()
 }
@@ -110,6 +121,11 @@ func TryAcquireExtraToken() bool {
 		compute.used++
 	}
 	compute.mu.Unlock()
+	if ok {
+		obs.SchedExtraGrants.Inc()
+	} else {
+		obs.SchedExtraDenials.Inc()
+	}
 	return ok
 }
 

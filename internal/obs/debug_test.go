@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestDebugServer(t *testing.T) {
+	NewCounter("test.debug.counter").Add(3)
+	ds, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer ds.Close()
+
+	resp, err := http.Get("http://" + ds.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["test.debug.counter"] < 3 {
+		t.Fatalf("counter missing from /metrics: %v", snap.Counters["test.debug.counter"])
+	}
+
+	resp, err = http.Get("http://" + ds.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("GET pprof: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status %d", resp.StatusCode)
+	}
+}

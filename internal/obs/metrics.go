@@ -1,0 +1,49 @@
+package obs
+
+// The built-in metric set, pre-registered at init so instrumented code
+// holds direct pointers and the bump path never consults the registry.
+// Naming: <layer>.<noun>_total for counters, <layer>.<noun>_ns for
+// duration histograms.
+var (
+	// Step loop (flushed per completed episode from internal/env).
+	EnvSteps          = NewCounter("env.steps_total")
+	EnvEpisodes       = NewCounter("env.episodes_total")
+	EnvGuesses        = NewCounter("env.guesses_total")
+	EnvCorrectGuesses = NewCounter("env.correct_guesses_total")
+
+	// Cache model (flushed on cache.Reset from internal/cache).
+	CacheAccesses = NewCounter("cache.accesses_total")
+	CacheHits     = NewCounter("cache.hits_total")
+	CacheMisses   = NewCounter("cache.misses_total")
+	CacheFlushes  = NewCounter("cache.flushes_total")
+	CacheRekeys   = NewCounter("cache.rekeys_total")
+
+	// Compute-token scheduler (internal/nn).
+	SchedAcquires     = NewCounter("sched.token_acquires_total")
+	SchedWaits        = NewCounter("sched.token_waits_total")
+	SchedWaitNs       = NewHistogram("sched.token_wait_ns")
+	SchedExtraGrants  = NewCounter("sched.extra_token_grants_total")
+	SchedExtraDenials = NewCounter("sched.extra_token_denials_total")
+
+	// PPO trainer (internal/rl).
+	PPOEpochs  = NewCounter("ppo.epochs_total")
+	PPOSteps   = NewCounter("ppo.steps_total")
+	PPOEpochNs = NewHistogram("ppo.epoch_ns")
+
+	// Explorer backends (internal/core).
+	Explorations = NewCounter("core.explorations_total")
+	Replays      = NewCounter("core.replays_total")
+
+	// Campaign engine (internal/campaign).
+	CampaignJobsDone      = NewCounter("campaign.jobs_done_total")
+	CampaignJobsFailed    = NewCounter("campaign.jobs_failed_total")
+	CampaignAttacks       = NewCounter("campaign.reliable_attacks_total")
+	CampaignJobNs         = NewHistogram("campaign.job_ns")
+	CampaignProgressDrops = NewCounter("campaign.progress_dropped_total")
+	CatalogNovel          = NewCounter("catalog.novel_total")
+	CatalogRediscoveries  = NewCounter("catalog.rediscoveries_total")
+
+	// Journal health.
+	JournalEvents = NewCounter("journal.events_total")
+	JournalErrors = NewCounter("journal.errors_total")
+)

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	c := NewCounter("test.counter")
+	g := NewGauge("test.gauge")
+	base := c.Load()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load() - base; got != 8000 {
+		t.Fatalf("counter delta = %d, want 8000", got)
+	}
+	if g.Load() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Load())
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	a := NewCounter("test.idempotent")
+	b := NewCounter("test.idempotent")
+	if a != b {
+		t.Fatal("NewCounter with the same name returned distinct counters")
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram("test.hist")
+	// 100 observations at ~1µs, 1 at ~1ms: p50/p90 stay in the small
+	// bucket, max lands in the big one.
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	h.Observe(1_000_000)
+	s := h.snapshot()
+	if s.Count != 101 {
+		t.Fatalf("count = %d, want 101", s.Count)
+	}
+	if want := uint64(100*1000 + 1_000_000); s.Sum != want {
+		t.Fatalf("sum = %d, want %d", s.Sum, want)
+	}
+	if s.P50 < 1000 || s.P50 > 2048 {
+		t.Fatalf("p50 = %v, want within a power-of-two of 1000ns", s.P50)
+	}
+	if s.Max < 1_000_000 || s.Max > 2_097_152 {
+		t.Fatalf("max = %v, want within a power-of-two of 1e6ns", s.Max)
+	}
+	if s.Mean < 1000 || s.Mean > 20_000 {
+		t.Fatalf("mean = %v, implausible", s.Mean)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("test.hist.concurrent")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	NewCounter("test.snapshot.counter").Add(7)
+	NewHistogram("test.snapshot.hist").Observe(42)
+	s := TakeSnapshot()
+	if s.Counters["test.snapshot.counter"] != 7 {
+		t.Fatalf("snapshot counter = %d, want 7", s.Counters["test.snapshot.counter"])
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal snapshot: %v", err)
+	}
+	if back.Histograms["test.snapshot.hist"].Count != 1 {
+		t.Fatal("histogram lost in JSON round trip")
+	}
+	// Built-in metrics must be pre-registered.
+	for _, name := range []string{"env.steps_total", "cache.accesses_total", "ppo.epochs_total", "campaign.jobs_done_total"} {
+		if _, ok := s.Counters[name]; !ok {
+			t.Fatalf("built-in counter %q not in snapshot", name)
+		}
+	}
+}
+
+func TestSetEnabled(t *testing.T) {
+	if !Enabled() {
+		t.Fatal("telemetry must default to enabled")
+	}
+	SetEnabled(false)
+	if Enabled() {
+		t.Fatal("SetEnabled(false) did not take")
+	}
+	SetEnabled(true)
+	if !Enabled() {
+		t.Fatal("SetEnabled(true) did not take")
+	}
+}
+
+func TestSpanAndTimer(t *testing.T) {
+	tm := StartTimer(NewHistogram("test.timer"))
+	time.Sleep(time.Millisecond)
+	if d := tm.Stop(); d < time.Millisecond {
+		t.Fatalf("timer measured %v, want ≥1ms", d)
+	}
+	if NewHistogram("test.timer").Count() == 0 {
+		t.Fatal("Timer.Stop did not observe")
+	}
+}

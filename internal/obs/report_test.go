@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// synthetic journal: a two-stage run where scenario "a" solves in the
+// search stage and scenario "b" escalates and solves under PPO.
+func reportEvents() []Event {
+	us := func(sec float64) int64 { return int64(sec * 1e6) }
+	return []Event{
+		{TS: us(0), Kind: EvCampaignStart, Name: "demo/stage1-search"},
+		{TS: us(0.1), Kind: EvStageStart, Name: "demo", Stage: "stage1-search"},
+		{TS: us(1), Kind: EvJobDone, Job: "j1", Name: "a/search",
+			Data: map[string]any{"attack": true, "novel": true}},
+		{TS: us(1), Kind: EvFirstReliable, Job: "j1", Name: "a/search"},
+		{TS: us(2), Kind: EvJobDone, Job: "j2", Name: "b/search",
+			Data: map[string]any{"error": "search budget exhausted"}},
+		{TS: us(2.5), Kind: EvEscalate, Name: "b", Stage: "stage1-search"},
+		{TS: us(2.6), Kind: EvStageStart, Name: "demo", Stage: "stage2-ppo"},
+		{TS: us(5), Kind: EvPPOEpoch, Job: "j3", Name: "b"},
+		{TS: us(8), Kind: EvPPOEpoch, Job: "j3", Name: "b"},
+		{TS: us(10), Kind: EvJobDone, Job: "j3", Name: "b",
+			Data: map[string]any{"attack": true, "novel": false}},
+		{TS: us(10), Kind: EvFirstReliable, Job: "j3", Name: "b"},
+		{TS: us(10.1), Kind: EvCampaignDone, Name: "demo"},
+	}
+}
+
+func TestBuildRunReport(t *testing.T) {
+	normalize := func(s string) string { return strings.TrimSuffix(s, "/search") }
+	r := BuildRunReport(reportEvents(), normalize)
+
+	if r.Jobs != 3 || r.Failed != 1 || r.Attacks != 2 || r.Novel != 1 {
+		t.Fatalf("jobs=%d failed=%d attacks=%d novel=%d, want 3/1/2/1",
+			r.Jobs, r.Failed, r.Attacks, r.Novel)
+	}
+	if r.Stages != 2 || r.Escalated != 1 {
+		t.Fatalf("stages=%d escalated=%d, want 2/1", r.Stages, r.Escalated)
+	}
+	if r.PPOEpochs != 2 || r.PPOJobs != 1 {
+		t.Fatalf("ppo epochs=%d jobs=%d, want 2/1", r.PPOEpochs, r.PPOJobs)
+	}
+	if len(r.FirstReliable) != 2 {
+		t.Fatalf("first-reliable entries = %d, want 2 (a, b)", len(r.FirstReliable))
+	}
+	if r.FirstReliable[0].Scenario != "a" || r.FirstReliable[1].Scenario != "b" {
+		t.Fatalf("first-reliable order: %+v", r.FirstReliable)
+	}
+	if got := r.FirstReliable[0].Elapsed; got != time.Second {
+		t.Fatalf("scenario a elapsed = %v, want 1s", got)
+	}
+	if got := r.FirstReliable[1].Elapsed; got != 10*time.Second {
+		t.Fatalf("scenario b elapsed = %v, want 10s (measured from stage-1 start)", got)
+	}
+	if len(r.Rate) == 0 {
+		t.Fatal("no throughput buckets")
+	}
+	total := 0
+	for _, rb := range r.Rate {
+		total += rb.Jobs
+	}
+	if total != r.Jobs {
+		t.Fatalf("rate buckets cover %d jobs, want %d", total, r.Jobs)
+	}
+}
+
+func TestRunReportFormat(t *testing.T) {
+	var sb strings.Builder
+	BuildRunReport(reportEvents(), nil).Format(&sb)
+	out := sb.String()
+	for _, want := range []string{"jobs: 3 done", "time to first reliable attack", "dedup rate", "throughput"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildRunReportEmpty(t *testing.T) {
+	r := BuildRunReport(nil, nil)
+	if r.Jobs != 0 || len(r.FirstReliable) != 0 {
+		t.Fatalf("empty journal produced non-empty report: %+v", r)
+	}
+	var sb strings.Builder
+	r.Format(&sb) // must not panic
+}

@@ -13,9 +13,11 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"autocat/internal/env"
 	"autocat/internal/nn"
+	"autocat/internal/obs"
 )
 
 // PPOConfig carries the trainer hyperparameters. Zero values select the
@@ -464,6 +466,7 @@ func (t *Trainer) exploreEpsAt(epoch int) float64 {
 // worker running it already holds a token); the gradient shards below
 // only take *extra* tokens, so the pool is never double-booked.
 func (t *Trainer) Epoch(epochIdx int) EpochStats {
+	tm := obs.StartTimer(obs.PPOEpochNs)
 	t.curEnt = t.entCoefAt(epochIdx)
 	t.curEps = t.exploreEpsAt(epochIdx)
 	results := t.collect()
@@ -497,6 +500,9 @@ func (t *Trainer) Epoch(epochIdx int) EpochStats {
 	t.normalizeAdvantages(batch)
 	pl, vl := t.update(batch)
 	st.PolicyLoss, st.ValueLoss = pl, vl
+	obs.PPOEpochs.Inc()
+	obs.PPOSteps.Add(uint64(len(batch)))
+	tm.Stop()
 	return st
 }
 
@@ -713,11 +719,20 @@ func (t *Trainer) Train() Result { return t.TrainContext(context.Background()) }
 func (t *Trainer) TrainContext(ctx context.Context) Result {
 	var res Result
 	streak := 0
+	// Telemetry attribution rides the context (obs.Scope), not the
+	// trainer config: PPOConfig feeds ParamsHash and must stay fixed.
+	scope := obs.ScopeFrom(ctx)
 	for epoch := 1; epoch <= t.cfg.MaxEpochs; epoch++ {
 		if ctx.Err() != nil {
 			return res
 		}
+		t0 := time.Now()
 		st := t.Epoch(epoch)
+		scope.Emit(obs.Event{
+			Kind:  obs.EvPPOEpoch,
+			DurMS: float64(time.Since(t0).Nanoseconds()) / 1e6,
+			Data:  st,
+		})
 		res.Stats = append(res.Stats, st)
 		res.Epochs = epoch
 		ev := Evaluate(t.net, t.envs[0], t.cfg.EvalEpisodes)

@@ -1,0 +1,111 @@
+package rl
+
+import (
+	"runtime"
+	"testing"
+
+	"autocat/internal/cache"
+	"autocat/internal/env"
+	"autocat/internal/nn"
+	"autocat/internal/obs"
+)
+
+// counterDelta snapshots the env/cache counters that flush from the
+// rollout hot path. Scheduler counters are deliberately excluded: token
+// waits depend on pool size and machine load, and the telemetry
+// contract only pins what the math produces.
+type counterDelta struct {
+	steps, episodes, guesses, correct uint64
+	accesses, hits, misses, flushes   uint64
+}
+
+func snapshotCounters() counterDelta {
+	return counterDelta{
+		steps:    obs.EnvSteps.Load(),
+		episodes: obs.EnvEpisodes.Load(),
+		guesses:  obs.EnvGuesses.Load(),
+		correct:  obs.EnvCorrectGuesses.Load(),
+		accesses: obs.CacheAccesses.Load(),
+		hits:     obs.CacheHits.Load(),
+		misses:   obs.CacheMisses.Load(),
+		flushes:  obs.CacheFlushes.Load(),
+	}
+}
+
+func (a counterDelta) sub(b counterDelta) counterDelta {
+	return counterDelta{
+		steps: a.steps - b.steps, episodes: a.episodes - b.episodes,
+		guesses: a.guesses - b.guesses, correct: a.correct - b.correct,
+		accesses: a.accesses - b.accesses, hits: a.hits - b.hits,
+		misses: a.misses - b.misses, flushes: a.flushes - b.flushes,
+	}
+}
+
+// TestCounterTotalsKernelWorkerInvariance trains the same fixed-seed run
+// under kernel worker counts 1, 2, and NumCPU and asserts the env/cache
+// counter totals are identical: counters flush per completed episode,
+// so execution parallelism must never change what they count.
+func TestCounterTotalsKernelWorkerInvariance(t *testing.T) {
+	if !obs.Enabled() {
+		t.Fatal("telemetry must be enabled for this test (it is the default)")
+	}
+	defer nn.SetKernelWorkers(runtime.GOMAXPROCS(0))
+
+	run := func() counterDelta {
+		var envs []*env.Env
+		for i := 0; i < 2; i++ {
+			cfg := env.Config{
+				Cache:      cache.Config{NumBlocks: 2, NumWays: 2, Policy: cache.LRU},
+				AttackerLo: 1, AttackerHi: 2,
+				VictimLo: 0, VictimHi: 0,
+				FlushEnable:    true,
+				VictimNoAccess: true,
+				WindowSize:     8,
+				Warmup:         -1,
+				Seed:           31 + int64(i)*7919,
+			}
+			cfg.Cache.Seed = cfg.Seed
+			e, err := env.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			envs = append(envs, e)
+		}
+		net := nn.NewMLP(nn.MLPConfig{
+			ObsDim: envs[0].ObsDim(), Actions: envs[0].NumActions(),
+			Hidden: []int{16, 16}, Seed: 31,
+		})
+		tr, err := NewTrainer(net, envs, PPOConfig{
+			StepsPerEpoch: 256, MinibatchSize: 64, UpdateEpochs: 2,
+			MaxEpochs: 2, Workers: 4, Seed: 31,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := snapshotCounters()
+		for epoch := 1; epoch <= 2; epoch++ {
+			tr.Epoch(epoch)
+		}
+		return snapshotCounters().sub(before)
+	}
+
+	var ref counterDelta
+	for i, workers := range []int{1, 2, runtime.NumCPU()} {
+		nn.SetKernelWorkers(workers)
+		got := run()
+		if got.steps == 0 || got.episodes == 0 || got.accesses == 0 {
+			t.Fatalf("kernel workers %d: counters did not advance: %+v", workers, got)
+		}
+		if got.accesses != got.hits+got.misses {
+			t.Fatalf("kernel workers %d: accesses %d != hits %d + misses %d",
+				workers, got.accesses, got.hits, got.misses)
+		}
+		if i == 0 {
+			ref = got
+			continue
+		}
+		if got != ref {
+			t.Fatalf("kernel workers %d changed counter totals:\n ref %+v\n got %+v", workers, ref, got)
+		}
+	}
+}
