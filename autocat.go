@@ -120,6 +120,10 @@ type (
 	Env = env.Env
 	// Rewards mirrors the reward options of Table II.
 	Rewards = env.Rewards
+	// Shaping configures useless-action reward shaping (training-only
+	// penalties for no-op accesses, redundant flushes, and wasted victim
+	// triggers).
+	Shaping = env.Shaping
 	// Target abstracts the cache under attack.
 	Target = env.Target
 	// HierarchyTarget adapts a two-level hierarchy (victim on core 0,
@@ -158,6 +162,9 @@ func MustEnv(cfg EnvConfig) *Env {
 
 // DefaultRewards returns the paper's reward values (+1 / -1 / -0.01).
 func DefaultRewards() Rewards { return env.DefaultRewards() }
+
+// DefaultShaping returns the tuned useless-action shaping penalties.
+func DefaultShaping() Shaping { return env.DefaultShaping() }
 
 // RL engine surface (internal/rl, internal/nn).
 type (
@@ -430,6 +437,10 @@ const (
 	CampaignExplorerPPO     = campaign.ExplorerPPO
 	CampaignExplorerSearch  = campaign.ExplorerSearch
 	CampaignExplorerProbe   = campaign.ExplorerProbe
+	// CampaignExplorerShapedPPO is the staged-escalation stage kind that
+	// runs PPO with default reward shaping; valid in RunStagedCampaign
+	// stage lists only (use CampaignSpec.Shapings on the grid axis).
+	CampaignExplorerShapedPPO = campaign.ExplorerShapedPPO
 )
 
 // OpenArtifactStore creates (or reopens) a content-addressed attack

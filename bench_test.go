@@ -160,6 +160,7 @@ func BenchmarkCampaignWorkersNumCPU(b *testing.B) {
 func BenchmarkStepHot(b *testing.B)             { bench.StepHot(b) }
 func BenchmarkStepHotInstrumented(b *testing.B) { bench.StepHotInstrumented(b) }
 func BenchmarkStepHotDefended(b *testing.B)     { bench.StepHotDefended(b) }
+func BenchmarkStepHotShaped(b *testing.B)       { bench.StepHotShaped(b) }
 func BenchmarkRolloutSteps(b *testing.B)        { bench.RolloutSteps(b) }
 func BenchmarkPPOEpoch(b *testing.B)            { bench.PPOEpoch(b) }
 func BenchmarkArtifactReplay(b *testing.B)      { bench.ArtifactReplay(b) }

@@ -12,12 +12,14 @@ package main
 // suite that CI smoke-tests.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"testing"
 
 	"autocat/internal/bench"
+	"autocat/internal/exp"
 )
 
 const hotpathFile = "BENCH_hotpath.json"
@@ -57,15 +59,47 @@ type hotpathStats struct {
 	// strictly like the undefended alloc count.
 	DefendedStepNs     float64 `json:"defended_step_ns,omitempty"`
 	DefendedStepAllocs float64 `json:"defended_step_allocs_per_op,omitempty"`
-	RolloutStepsSec    float64 `json:"rollout_steps_per_sec,omitempty"`
-	PPOEpochStepsSec   float64 `json:"ppo_epoch_steps_per_sec"`
-	CampaignJobsSec    float64 `json:"campaign_jobs_per_sec_4workers"`
-	ApplyNsPerSample   float64 `json:"apply_batch_ns_per_sample"`
-	GradNsPerSample    float64 `json:"grad_batch_ns_per_sample,omitempty"`
+	// ShapedStepNs is the StepHot loop with useless-action reward
+	// shaping enabled (internal/bench.ShapedEnvConfig): classification
+	// plus the active penalty path. ShapedStepAllocs is gated strictly
+	// like the other alloc counts.
+	ShapedStepNs     float64 `json:"shaped_step_ns,omitempty"`
+	ShapedStepAllocs float64 `json:"shaped_step_allocs_per_op,omitempty"`
+	RolloutStepsSec  float64 `json:"rollout_steps_per_sec,omitempty"`
+	PPOEpochStepsSec float64 `json:"ppo_epoch_steps_per_sec"`
+	CampaignJobsSec  float64 `json:"campaign_jobs_per_sec_4workers"`
+	ApplyNsPerSample float64 `json:"apply_batch_ns_per_sample"`
+	GradNsPerSample  float64 `json:"grad_batch_ns_per_sample,omitempty"`
 	// ArtifactReplayNs is one stored artifact replayed through a fresh
 	// environment (env construction + 64-episode deterministic eval +
 	// attack extraction) — the `autocat replay` verification path.
 	ArtifactReplayNs float64 `json:"artifact_replay_ns,omitempty"`
+	// StepsToFirstReliable / TimeToFirstReliableMS sum environment
+	// steps and wall-clock to the first reliable attack with plain PPO
+	// over the exp.ShapingScenarios suite rows both variants solve
+	// within budget (each row already aggregates three training seeds);
+	// the Shaped* twins are the same rows trained with useless-action
+	// shaping. Step counts use a pinned worker count and are
+	// machine-independent; the ms metrics ride the ordinary -compare
+	// tolerance. FirstReliable keeps the per-scenario detail behind the
+	// sums.
+	StepsToFirstReliable        float64            `json:"steps_to_first_reliable,omitempty"`
+	TimeToFirstReliableMS       float64            `json:"time_to_first_reliable_ms,omitempty"`
+	ShapedStepsToFirstReliable  float64            `json:"shaped_steps_to_first_reliable,omitempty"`
+	ShapedTimeToFirstReliableMS float64            `json:"shaped_time_to_first_reliable_ms,omitempty"`
+	FirstReliable               []firstReliableRow `json:"first_reliable,omitempty"`
+}
+
+// firstReliableRow is one shaping-suite scenario's shaped-vs-plain cost
+// to the first reliable attack (summed over its seed replicates).
+type firstReliableRow struct {
+	Scenario       string  `json:"scenario"`
+	PlainSteps     int     `json:"plain_steps"`
+	PlainMS        float64 `json:"plain_ms"`
+	PlainReliable  bool    `json:"plain_reliable"`
+	ShapedSteps    int     `json:"shaped_steps"`
+	ShapedMS       float64 `json:"shaped_ms"`
+	ShapedReliable bool    `json:"shaped_reliable"`
 }
 
 type hotpathReport struct {
@@ -83,6 +117,8 @@ func measureHotpath() hotpathStats {
 	instrumented := testing.Benchmark(bench.StepHotInstrumented)
 	fmt.Println("measuring defended (ceaser-rekeyed) step loop ...")
 	defended := testing.Benchmark(bench.StepHotDefended)
+	fmt.Println("measuring shaped (useless-action penalties) step loop ...")
+	shaped := testing.Benchmark(bench.StepHotShaped)
 	fmt.Println("measuring vectorized lockstep rollout ...")
 	roll := testing.Benchmark(bench.RolloutSteps)
 	fmt.Println("measuring full PPO epochs ...")
@@ -95,9 +131,16 @@ func measureHotpath() hotpathStats {
 	camp := testing.Benchmark(func(b *testing.B) { bench.CampaignJobs(b, 4) })
 	fmt.Println("measuring artifact replay ...")
 	replay := testing.Benchmark(bench.ArtifactReplay)
+	fmt.Println("measuring steps/wall-clock to first reliable attack (shaped vs plain PPO) ...")
+	rows, err := exp.ShapingRows(context.Background(), exp.Options{})
+	if err != nil {
+		// Leave the first-reliable metrics zero; -compare skips them as
+		// "no reference" rather than failing the whole measurement.
+		fmt.Fprintf(os.Stderr, "first-reliable measurement failed: %v\n", err)
+	}
 
 	stepNs := float64(step.NsPerOp())
-	return hotpathStats{
+	st := hotpathStats{
 		Description:            "measured by cmd/autocat-bench",
 		StepNsPerOp:            stepNs,
 		StepAllocsPerOp:        float64(step.AllocsPerOp()),
@@ -106,6 +149,8 @@ func measureHotpath() hotpathStats {
 		InstrumentedStepAllocs: float64(instrumented.AllocsPerOp()),
 		DefendedStepNs:         float64(defended.NsPerOp()),
 		DefendedStepAllocs:     float64(defended.AllocsPerOp()),
+		ShapedStepNs:           float64(shaped.NsPerOp()),
+		ShapedStepAllocs:       float64(shaped.AllocsPerOp()),
 		RolloutStepsSec:        roll.Extra["steps/s"],
 		PPOEpochStepsSec:       ppo.Extra["steps/s"],
 		CampaignJobsSec:        camp.Extra["jobs/s"],
@@ -113,6 +158,28 @@ func measureHotpath() hotpathStats {
 		GradNsPerSample:        float64(grad.NsPerOp()) / bench.ApplyBatchRows,
 		ArtifactReplayNs:       float64(replay.NsPerOp()),
 	}
+	for _, r := range rows {
+		st.FirstReliable = append(st.FirstReliable, firstReliableRow{
+			Scenario:       r.Name,
+			PlainSteps:     r.Plain.Steps,
+			PlainMS:        round2(r.Plain.MS),
+			PlainReliable:  r.Plain.Reliable,
+			ShapedSteps:    r.Shaped.Steps,
+			ShapedMS:       round2(r.Shaped.MS),
+			ShapedReliable: r.Shaped.Reliable,
+		})
+		// The summed metrics cover only rows both variants solve, so a
+		// budget-exhausted run can't masquerade as a fast one.
+		if r.Plain.Reliable && r.Shaped.Reliable {
+			st.StepsToFirstReliable += float64(r.Plain.Steps)
+			st.TimeToFirstReliableMS += r.Plain.MS
+			st.ShapedStepsToFirstReliable += float64(r.Shaped.Steps)
+			st.ShapedTimeToFirstReliableMS += r.Shaped.MS
+		}
+	}
+	st.TimeToFirstReliableMS = round2(st.TimeToFirstReliableMS)
+	st.ShapedTimeToFirstReliableMS = round2(st.ShapedTimeToFirstReliableMS)
+	return st
 }
 
 // runHotpath measures the hot-path benchmarks and writes the JSON
@@ -142,6 +209,8 @@ func runHotpath(path string) error {
 		(cur.InstrumentedStepNs/cur.StepNsPerOp-1)*100)
 	fmt.Printf("defended step: %.1f ns/op, %.0f allocs/op (ceaser keyed remap + rekeying)\n",
 		cur.DefendedStepNs, cur.DefendedStepAllocs)
+	fmt.Printf("shaped step:   %.1f ns/op, %.0f allocs/op (%+.1f%% vs unshaped)\n",
+		cur.ShapedStepNs, cur.ShapedStepAllocs, (cur.ShapedStepNs/cur.StepNsPerOp-1)*100)
 	fmt.Printf("rollout:       %.0f steps/s\n", cur.RolloutStepsSec)
 	fmt.Printf("ppo epoch:     %.0f steps/s (%.2fx baseline)\n",
 		cur.PPOEpochStepsSec, cur.PPOEpochStepsSec/hotpathBaseline.PPOEpochStepsSec)
@@ -150,6 +219,13 @@ func runHotpath(path string) error {
 	fmt.Printf("artifact replay: %.0f ns/op\n", cur.ArtifactReplayNs)
 	fmt.Printf("campaign:      %.2f jobs/s (%.2fx baseline)\n",
 		cur.CampaignJobsSec, cur.CampaignJobsSec/hotpathBaseline.CampaignJobsSec)
+	if cur.StepsToFirstReliable > 0 && cur.ShapedStepsToFirstReliable > 0 {
+		fmt.Printf("first reliable attack (plain PPO):  %.0f steps, %.0f ms (shaping suite, 3 seeds each)\n",
+			cur.StepsToFirstReliable, cur.TimeToFirstReliableMS)
+		fmt.Printf("first reliable attack (shaped PPO): %.0f steps, %.0f ms (%.2fx fewer steps)\n",
+			cur.ShapedStepsToFirstReliable, cur.ShapedTimeToFirstReliableMS,
+			cur.StepsToFirstReliable/cur.ShapedStepsToFirstReliable)
+	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
 }
@@ -165,12 +241,17 @@ var hotpathMetrics = []hotpathMetric{
 	{"steps_per_sec", func(s *hotpathStats) float64 { return s.StepsPerSec }, true},
 	{"instrumented_step_ns", func(s *hotpathStats) float64 { return s.InstrumentedStepNs }, false},
 	{"defended_step_ns", func(s *hotpathStats) float64 { return s.DefendedStepNs }, false},
+	{"shaped_step_ns", func(s *hotpathStats) float64 { return s.ShapedStepNs }, false},
 	{"rollout_steps_per_sec", func(s *hotpathStats) float64 { return s.RolloutStepsSec }, true},
 	{"ppo_epoch_steps_per_sec", func(s *hotpathStats) float64 { return s.PPOEpochStepsSec }, true},
 	{"campaign_jobs_per_sec_4workers", func(s *hotpathStats) float64 { return s.CampaignJobsSec }, true},
 	{"apply_batch_ns_per_sample", func(s *hotpathStats) float64 { return s.ApplyNsPerSample }, false},
 	{"grad_batch_ns_per_sample", func(s *hotpathStats) float64 { return s.GradNsPerSample }, false},
 	{"artifact_replay_ns", func(s *hotpathStats) float64 { return s.ArtifactReplayNs }, false},
+	{"steps_to_first_reliable", func(s *hotpathStats) float64 { return s.StepsToFirstReliable }, false},
+	{"shaped_steps_to_first_reliable", func(s *hotpathStats) float64 { return s.ShapedStepsToFirstReliable }, false},
+	{"time_to_first_reliable_ms", func(s *hotpathStats) float64 { return s.TimeToFirstReliableMS }, false},
+	{"shaped_time_to_first_reliable_ms", func(s *hotpathStats) float64 { return s.ShapedTimeToFirstReliableMS }, false},
 }
 
 // runCompare re-measures the hot path and compares against the
@@ -213,29 +294,22 @@ func runCompare(path string, tolerance float64) error {
 		}
 		fmt.Printf("  %-32s %12.4g -> %12.4g  (%+.1f%%)  %s\n", m.name, was, now, delta*100, status)
 	}
-	if cur.StepAllocsPerOp > ref.Current.StepAllocsPerOp {
-		fmt.Printf("  %-32s %12g -> %12g  REGRESSION (strict)\n",
-			"step_allocs_per_op", ref.Current.StepAllocsPerOp, cur.StepAllocsPerOp)
-		failures = append(failures, "step_allocs_per_op")
-	} else {
-		fmt.Printf("  %-32s %12g -> %12g  ok (strict)\n",
-			"step_allocs_per_op", ref.Current.StepAllocsPerOp, cur.StepAllocsPerOp)
+	allocGates := []struct {
+		name     string
+		was, now float64
+	}{
+		{"step_allocs_per_op", ref.Current.StepAllocsPerOp, cur.StepAllocsPerOp},
+		{"instrumented_step_allocs_per_op", ref.Current.InstrumentedStepAllocs, cur.InstrumentedStepAllocs},
+		{"defended_step_allocs_per_op", ref.Current.DefendedStepAllocs, cur.DefendedStepAllocs},
+		{"shaped_step_allocs_per_op", ref.Current.ShapedStepAllocs, cur.ShapedStepAllocs},
 	}
-	if cur.InstrumentedStepAllocs > ref.Current.InstrumentedStepAllocs {
-		fmt.Printf("  %-32s %12g -> %12g  REGRESSION (strict)\n",
-			"instrumented_step_allocs_per_op", ref.Current.InstrumentedStepAllocs, cur.InstrumentedStepAllocs)
-		failures = append(failures, "instrumented_step_allocs_per_op")
-	} else {
-		fmt.Printf("  %-32s %12g -> %12g  ok (strict)\n",
-			"instrumented_step_allocs_per_op", ref.Current.InstrumentedStepAllocs, cur.InstrumentedStepAllocs)
-	}
-	if cur.DefendedStepAllocs > ref.Current.DefendedStepAllocs {
-		fmt.Printf("  %-32s %12g -> %12g  REGRESSION (strict)\n",
-			"defended_step_allocs_per_op", ref.Current.DefendedStepAllocs, cur.DefendedStepAllocs)
-		failures = append(failures, "defended_step_allocs_per_op")
-	} else {
-		fmt.Printf("  %-32s %12g -> %12g  ok (strict)\n",
-			"defended_step_allocs_per_op", ref.Current.DefendedStepAllocs, cur.DefendedStepAllocs)
+	for _, g := range allocGates {
+		if g.now > g.was {
+			fmt.Printf("  %-32s %12g -> %12g  REGRESSION (strict)\n", g.name, g.was, g.now)
+			failures = append(failures, g.name)
+		} else {
+			fmt.Printf("  %-32s %12g -> %12g  ok (strict)\n", g.name, g.was, g.now)
+		}
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("hot-path regression in: %v", failures)

@@ -31,6 +31,7 @@ func main() {
 	figure := flag.Int("figure", 0, "figure number to regenerate (3-5)")
 	defenses := flag.Bool("defenses", false, "regenerate the defense-bypass table (agent vs ceaser/skew/partition)")
 	escalation := flag.Bool("escalation", false, "run the Table IV grid through staged search→RL escalation")
+	shaping := flag.Bool("shaping", false, "compare shaped vs plain PPO steps/wall-clock to first reliable attack on the narrow scenario suite")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	scale := flag.Float64("scale", 1.0, "training budget scale (1.0 = full)")
 	runs := flag.Int("runs", 1, "training replicates for averaged tables")
@@ -121,6 +122,7 @@ func main() {
 		run("Table X", exp.TableX)
 		run("Defense bypass", exp.TableDefenses)
 		run("Staged escalation", exp.TableEscalation)
+		run("Reward shaping", exp.TableShaping)
 		run("Figure 4", exp.Figure4)
 		run("Figure 5", exp.Figure5)
 		run("Search vs RL (§VI-A)", exp.SearchVsRL)
@@ -132,6 +134,10 @@ func main() {
 	}
 	if *escalation {
 		run("Staged escalation", exp.TableEscalation)
+		return
+	}
+	if *shaping {
+		run("Reward shaping", exp.TableShaping)
 		return
 	}
 	switch *table {

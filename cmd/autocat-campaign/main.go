@@ -41,7 +41,7 @@ func main() {
 	resume := fs.Bool("resume", false, "skip jobs already recorded in the checkpoint")
 	scale := fs.Float64("scale", 1, "epoch budget multiplier")
 	quiet := fs.Bool("quiet", false, "suppress per-job progress lines")
-	explorers := fs.String("explorers", "", "comma-separated exploration backends (ppo,search,probe): a grid axis, or the stage order with -stages")
+	explorers := fs.String("explorers", "", "comma-separated exploration backends (ppo,search,probe): a grid axis, or the stage order with -stages (which also accepts the shaped-ppo stage kind)")
 	stages := fs.Bool("stages", false, "staged escalation: run -explorers in order, each later stage only on jobs the previous stage left at chance")
 	artifacts := fs.String("artifacts", "", "artifact-store directory: persist every reliable attack as a content-addressed, replayable artifact (empty disables)")
 	searchBudget := fs.Int("search-budget", 0, "search explorer: candidate sequences per prefix length (0 = default 4096)")
@@ -61,6 +61,7 @@ func main() {
 	defenses := fs.String("defenses", "", "comma-separated defenses (none,plcache,ceaser,skew,partition)")
 	rekeyPeriods := fs.String("rekey-periods", "", "comma-separated CEASER rekey periods in accesses (e.g. 0,64; parameterizes the ceaser defense only)")
 	stepRewards := fs.String("step-rewards", "", "comma-separated step-reward axis (e.g. -0.02,-0.01)")
+	shapings := fs.String("shapings", "", "comma-separated useless-action shaping axis (off,on); on applies the default penalties")
 	seeds := fs.String("seeds", "1", "comma-separated seed axis")
 	flush := fs.Bool("flush", true, "enable the flush instruction")
 	noAccess := fs.Bool("no-access", true, "victim may make no access (0/E secrets)")
@@ -76,7 +77,7 @@ func main() {
 		attackers: *attackers, victims: *victims,
 		detectors: *detectors, defenses: *defenses,
 		rekeyPeriods: *rekeyPeriods,
-		stepRewards:  *stepRewards, seeds: *seeds,
+		stepRewards:  *stepRewards, shapings: *shapings, seeds: *seeds,
 		flush: *flush, noAccess: *noAccess,
 		window: *window, warmup: *warmup, epochs: *epochs, steps: *steps,
 	})
@@ -153,7 +154,14 @@ func main() {
 
 	if *stages {
 		if len(expList) == 0 {
-			expList = []string{autocat.CampaignExplorerSearch, autocat.CampaignExplorerPPO}
+			// Default escalation: cheap search first, then shaped PPO
+			// (fewer env steps to a first reliable attack), plain PPO
+			// last as the unshaped safety net.
+			expList = []string{
+				autocat.CampaignExplorerSearch,
+				autocat.CampaignExplorerShapedPPO,
+				autocat.CampaignExplorerPPO,
+			}
 		}
 		staged, err := autocat.RunStagedCampaign(ctx, spec, rc, expList)
 		if staged != nil {
@@ -207,7 +215,7 @@ type gridFlags struct {
 	attackers, victims            string
 	detectors, defenses           string
 	rekeyPeriods                  string
-	stepRewards, seeds            string
+	stepRewards, shapings, seeds  string
 	flush, noAccess               bool
 	window, warmup, epochs, steps int
 }
@@ -273,6 +281,16 @@ func buildSpec(path string, g gridFlags) (autocat.CampaignSpec, error) {
 			return spec, fmt.Errorf("-step-rewards: %w", err)
 		}
 		spec.StepRewards = append(spec.StepRewards, v)
+	}
+	for _, s := range splitCSV(g.shapings) {
+		switch s {
+		case "off", "none":
+			spec.Shapings = append(spec.Shapings, autocat.Shaping{})
+		case "on", "default":
+			spec.Shapings = append(spec.Shapings, autocat.DefaultShaping())
+		default:
+			return spec, fmt.Errorf("-shapings: unknown value %q (want off or on)", s)
+		}
 	}
 	for _, s := range splitCSV(g.seeds) {
 		v, err := strconv.ParseInt(s, 10, 64)

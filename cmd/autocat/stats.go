@@ -45,10 +45,19 @@ func statsCmd(args []string) {
 // names (it sits between the address ranges and the seed, e.g.
 // ".../v0-0/search/s7"), so a scenario escalated across stages — solved
 // by different explorers — aggregates as one row in the report.
+// "shaped-ppo" is a stage suffix too and must be stripped before "ppo";
+// the grid's "/shaped" segment stays — it names a genuinely different
+// (shaping-enabled) configuration, not an escalation stage.
 func normalizeScenario(name string) string {
-	for _, kind := range []autocat.ExplorerKind{autocat.ExplorerSearch, autocat.ExplorerProbe, autocat.ExplorerPPO} {
-		name = strings.ReplaceAll(name, "/"+string(kind)+"/", "/")
-		name = strings.TrimSuffix(name, "/"+string(kind))
+	kinds := []string{
+		autocat.CampaignExplorerShapedPPO,
+		string(autocat.ExplorerSearch),
+		string(autocat.ExplorerProbe),
+		string(autocat.ExplorerPPO),
+	}
+	for _, kind := range kinds {
+		name = strings.ReplaceAll(name, "/"+kind+"/", "/")
+		name = strings.TrimSuffix(name, "/"+kind)
 	}
 	return name
 }

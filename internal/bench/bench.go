@@ -102,6 +102,23 @@ func StepHotDefended(b *testing.B) {
 	stepLoop(b, DefendedEnvConfig())
 }
 
+// ShapedEnvConfig is HotEnvConfig with useless-action reward shaping
+// enabled. Classification runs on every step regardless of shaping (it
+// feeds the useless-action counters), so this isolates the cost of the
+// active penalty path on top of the plain loop.
+func ShapedEnvConfig() env.Config {
+	cfg := HotEnvConfig()
+	cfg.Shaping = env.DefaultShaping()
+	return cfg
+}
+
+// StepHotShaped is StepHot on the shaping-enabled environment; the
+// shaped_step_ns metric in BENCH_hotpath.json tracks this loop and its
+// steady state must stay 0 allocs/op.
+func StepHotShaped(b *testing.B) {
+	stepLoop(b, ShapedEnvConfig())
+}
+
 // PPOEpochSteps is the per-epoch step budget of the PPOEpoch benchmark.
 const PPOEpochSteps = 2048
 

@@ -37,6 +37,13 @@ type Result struct {
 	Latency    int
 	Evictions  []Eviction
 	Prefetched []Addr
+	// StateChanged reports whether the access mutated any cache state at
+	// all: a fill, an eviction, a replacement-metadata update (LRU age,
+	// PLRU bit, RRPV), a prefetch fill, or a CEASER rekey triggered by the
+	// access. A hit with StateChanged false is a pure read of state the
+	// cache already held — the zero-alloc effect signal reward shaping
+	// uses to classify no-op accesses.
+	StateChanged bool
 }
 
 // line is one cache line: a tag (the full address at line granularity), the
@@ -195,6 +202,7 @@ func (c *Cache) lookup(si int, a Addr) int {
 // charged latency, and all evictions caused (including prefetch fills).
 // The returned slices alias cache-owned scratch; see Result.
 func (c *Cache) Access(a Addr, dom Domain) Result {
+	rekeyed := false
 	if c.rekeyPeriod > 0 {
 		// CEASER epoch boundary: after every RekeyPeriod demand accesses
 		// the key is redrawn before the next access proceeds, so the
@@ -202,11 +210,13 @@ func (c *Cache) Access(a Addr, dom Domain) Result {
 		if c.sinceRekey >= c.rekeyPeriod {
 			c.rekeyNow()
 			c.sinceRekey = 0
+			rekeyed = true
 		}
 		c.sinceRekey++
 	}
 	c.evScratch = c.evScratch[:0]
 	res := c.demand(a, dom)
+	res.StateChanged = res.StateChanged || rekeyed
 	c.obsAccesses++
 	if res.Hit {
 		c.obsHits++
@@ -217,7 +227,9 @@ func (c *Cache) Access(a Addr, dom Domain) Result {
 		if pa == a {
 			continue
 		}
-		c.fillOnly(pa, dom)
+		if c.fillOnly(pa, dom) {
+			res.StateChanged = true
+		}
 		kept = append(kept, pa)
 	}
 	c.pfScratch = pf
@@ -235,35 +247,36 @@ func (c *Cache) Access(a Addr, dom Domain) Result {
 func (c *Cache) demand(a Addr, dom Domain) Result {
 	if c.defense == DefenseSkew {
 		if w, si := c.skewFind(a); w >= 0 {
-			c.policy.OnHit(si, w)
-			return Result{Hit: true, Latency: c.cfg.HitLatency}
+			changed := c.policy.OnHit(si, w)
+			return Result{Hit: true, Latency: c.cfg.HitLatency, StateChanged: changed}
 		}
-		c.installSkew(a, dom)
-		return Result{Hit: false, Latency: c.cfg.MissLatency}
+		filled := c.installSkew(a, dom)
+		return Result{Hit: false, Latency: c.cfg.MissLatency, StateChanged: filled}
 	}
 	si := c.setIndex(a)
 	if w := c.lookup(si, a); w >= 0 {
-		c.policy.OnHit(si, w)
-		return Result{Hit: true, Latency: c.cfg.HitLatency}
+		changed := c.policy.OnHit(si, w)
+		return Result{Hit: true, Latency: c.cfg.HitLatency, StateChanged: changed}
 	}
-	c.install(si, a, dom)
-	return Result{Hit: false, Latency: c.cfg.MissLatency}
+	filled := c.install(si, a, dom)
+	return Result{Hit: false, Latency: c.cfg.MissLatency, StateChanged: filled}
 }
 
 // fillOnly installs addr as a prefetch: a hit refreshes nothing (hardware
 // prefetchers do not promote on hit in this model), a miss fills the line.
-func (c *Cache) fillOnly(a Addr, dom Domain) {
+// It reports whether a fill actually happened.
+func (c *Cache) fillOnly(a Addr, dom Domain) bool {
 	if c.defense == DefenseSkew {
 		if w, _ := c.skewFind(a); w < 0 {
-			c.installSkew(a, dom)
+			return c.installSkew(a, dom)
 		}
-		return
+		return false
 	}
 	si := c.setIndex(a)
 	if c.lookup(si, a) >= 0 {
-		return
+		return false
 	}
-	c.install(si, a, dom)
+	return c.install(si, a, dom)
 }
 
 // install places addr into set si, evicting if needed; a real displacement

@@ -1,0 +1,95 @@
+package cache
+
+import "testing"
+
+// Effect-signal tests: Result.StateChanged and the Flush residency bool
+// are what the env's useless-action classifier keys on, so their
+// semantics per policy are pinned here.
+
+func TestStateChangedLRU(t *testing.T) {
+	c := newLRU4(t)
+	if r := c.Access(0, DomainAttacker); !r.StateChanged {
+		t.Fatal("cold fill must change state")
+	}
+	// Re-access of the just-touched (already-MRU) line is a pure read.
+	if r := c.Access(0, DomainAttacker); r.StateChanged {
+		t.Fatal("hit on the MRU line must not change state")
+	}
+	// After another line becomes MRU, re-hitting 0 reorders the stack.
+	c.Access(1, DomainAttacker)
+	if r := c.Access(0, DomainAttacker); !r.StateChanged {
+		t.Fatal("hit promoting a non-MRU line must change state")
+	}
+}
+
+func TestStateChangedRRIP(t *testing.T) {
+	c := New(Config{NumBlocks: 4, NumWays: 4, Policy: RRIP})
+	c.Access(0, DomainAttacker)
+	// First hit promotes the long-re-reference line to rrpv 0.
+	if r := c.Access(0, DomainAttacker); !r.StateChanged {
+		t.Fatal("first RRIP hit must promote (change state)")
+	}
+	// A hit on an already-promoted line changes nothing.
+	if r := c.Access(0, DomainAttacker); r.StateChanged {
+		t.Fatal("hit on an rrpv-0 line must not change state")
+	}
+}
+
+func TestStateChangedRandom(t *testing.T) {
+	c := New(Config{NumBlocks: 4, NumWays: 4, Policy: Random, Seed: 1})
+	c.Access(0, DomainAttacker)
+	// Random replacement keeps no per-line state: hits never mutate.
+	for i := 0; i < 4; i++ {
+		if r := c.Access(0, DomainAttacker); r.StateChanged {
+			t.Fatal("random-policy hit must never change state")
+		}
+	}
+}
+
+func TestStateChangedPLRU(t *testing.T) {
+	c := New(Config{NumBlocks: 4, NumWays: 4, Policy: PLRU})
+	c.Access(0, DomainAttacker)
+	// An immediate re-hit leaves every tree bit already pointing away.
+	if r := c.Access(0, DomainAttacker); r.StateChanged {
+		t.Fatal("PLRU re-hit with bits already set must not change state")
+	}
+	// Touching the sibling flips path bits, so the next hit on 0 flips
+	// them back.
+	c.Access(1, DomainAttacker)
+	if r := c.Access(0, DomainAttacker); !r.StateChanged {
+		t.Fatal("PLRU hit that flips path bits must change state")
+	}
+}
+
+func TestFlushReportsResidency(t *testing.T) {
+	c := newLRU4(t)
+	if c.Flush(0) {
+		t.Fatal("flushing a never-resident line must report false")
+	}
+	c.Access(0, DomainAttacker)
+	if !c.Flush(0) {
+		t.Fatal("flushing a resident line must report true")
+	}
+	if c.Flush(0) {
+		t.Fatal("double flush must report false")
+	}
+}
+
+// TestEffectSignalZeroAllocs guards the classifier's inputs: computing
+// StateChanged must not add allocations to the access path.
+func TestEffectSignalZeroAllocs(t *testing.T) {
+	for _, pol := range []PolicyKind{LRU, PLRU, RRIP, Random} {
+		t.Run(string(pol), func(t *testing.T) {
+			c := New(Config{NumBlocks: 4, NumWays: 4, Policy: pol, Seed: 1})
+			i := 0
+			avg := testing.AllocsPerRun(1000, func() {
+				r := c.Access(Addr(i%6), DomainAttacker)
+				_ = r.StateChanged
+				i++
+			})
+			if avg != 0 {
+				t.Fatalf("Access with effect signal allocates %.2f objects per call, want 0", avg)
+			}
+		})
+	}
+}

@@ -60,10 +60,11 @@ func (h *Hierarchy) Access(core int, a Addr, dom Domain) Result {
 	l1 := h.l1[core]
 	r1 := l1.Access(a, dom)
 	if r1.Hit {
-		return Result{Hit: true, Latency: l1.cfg.HitLatency}
+		return Result{Hit: true, Latency: l1.cfg.HitLatency, StateChanged: r1.StateChanged}
 	}
 	r2 := h.l2.Access(a, dom)
-	res := Result{Hit: r2.Hit, Evictions: r2.Evictions}
+	res := Result{Hit: r2.Hit, Evictions: r2.Evictions,
+		StateChanged: r1.StateChanged || r2.StateChanged}
 	if r2.Hit {
 		res.Latency = h.cfg.L2HitLatency
 	} else {

@@ -8,8 +8,12 @@ import "math/rand"
 // touches flat memory instead of chasing a per-set interface pointer. Way
 // indexes are 0-based positions within a set.
 type policyBank interface {
-	// OnHit updates policy state after a hit in the given way of set.
-	OnHit(set, way int)
+	// OnHit updates policy state after a hit in the given way of set. It
+	// reports whether any metadata actually changed — false means the hit
+	// was a replacement-state no-op (the line was already in the position
+	// the policy would move it to), the signal reward shaping uses to
+	// classify useless accesses.
+	OnHit(set, way int) bool
 	// OnFill updates policy state after a new line is installed.
 	OnFill(set, way int)
 	// Victim returns the way to evict in set when every candidate way is
@@ -53,19 +57,23 @@ func newLRUBank(nsets, ways int) *lruBank {
 	return p
 }
 
-func (p *lruBank) touch(set, way int) {
+func (p *lruBank) touch(set, way int) bool {
 	ages := p.ages[set*p.ways : (set+1)*p.ways]
 	old := ages[way]
+	if old == 0 {
+		return false // already MRU: touching changes nothing
+	}
 	for w := range ages {
 		if ages[w] < old {
 			ages[w]++
 		}
 	}
 	ages[way] = 0
+	return true
 }
 
-func (p *lruBank) OnHit(set, way int)  { p.touch(set, way) }
-func (p *lruBank) OnFill(set, way int) { p.touch(set, way) }
+func (p *lruBank) OnHit(set, way int) bool { return p.touch(set, way) }
+func (p *lruBank) OnFill(set, way int)     { p.touch(set, way) }
 
 func (p *lruBank) Victim(set int, eligible []bool) int {
 	ages := p.ages[set*p.ways : (set+1)*p.ways]
@@ -105,25 +113,29 @@ func newPLRUBank(nsets, ways int) *plruBank {
 	return &plruBank{ways: ways, bits: make([]int, nsets*(ways-1))}
 }
 
-func (p *plruBank) update(set, way int) {
+func (p *plruBank) update(set, way int) bool {
 	bits := p.bits[set*(p.ways-1) : (set+1)*(p.ways-1)]
 	// Walk from the root to the leaf, setting each bit to point away from
 	// the accessed way.
+	changed := false
 	node, lo, hi := 0, 0, p.ways
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
 		if way < mid {
+			changed = changed || bits[node] != 1
 			bits[node] = 1 // accessed left, cold side is right
 			node, hi = 2*node+1, mid
 		} else {
+			changed = changed || bits[node] != 0
 			bits[node] = 0 // accessed right, cold side is left
 			node, lo = 2*node+2, mid
 		}
 	}
+	return changed
 }
 
-func (p *plruBank) OnHit(set, way int)  { p.update(set, way) }
-func (p *plruBank) OnFill(set, way int) { p.update(set, way) }
+func (p *plruBank) OnHit(set, way int) bool { return p.update(set, way) }
+func (p *plruBank) OnFill(set, way int)     { p.update(set, way) }
 
 // Victim follows the cold-pointer bits from the root. If the indicated
 // way is ineligible (locked), it falls back to the first eligible way in
@@ -185,7 +197,11 @@ func newRRIPBank(nsets, ways int) *rripBank {
 	return p
 }
 
-func (p *rripBank) OnHit(set, way int)  { p.rrpv[set*p.ways+way] = 0 }
+func (p *rripBank) OnHit(set, way int) bool {
+	changed := p.rrpv[set*p.ways+way] != 0
+	p.rrpv[set*p.ways+way] = 0
+	return changed
+}
 func (p *rripBank) OnFill(set, way int) { p.rrpv[set*p.ways+way] = rripInsert }
 
 func (p *rripBank) Victim(set int, eligible []bool) int {
@@ -227,8 +243,10 @@ type randomBank struct {
 	rng  *rand.Rand
 }
 
-func (p *randomBank) OnHit(int, int)  {}
-func (p *randomBank) OnFill(int, int) {}
+// OnHit reports false: random replacement keeps no recency metadata, so
+// a hit never changes policy state.
+func (p *randomBank) OnHit(int, int) bool { return false }
+func (p *randomBank) OnFill(int, int)     {}
 
 func (p *randomBank) Victim(set int, eligible []bool) int {
 	n := 0

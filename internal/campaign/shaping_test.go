@@ -1,0 +1,153 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"autocat/internal/cache"
+	"autocat/internal/core"
+	"autocat/internal/env"
+)
+
+// shapingAxisSpec is a minimal 1-geometry grid for the Shapings axis.
+func shapingAxisSpec() Spec {
+	return Spec{
+		Name:           "shaping-axis",
+		Caches:         []cache.Config{{NumBlocks: 2, NumWays: 1}},
+		Attackers:      []AddrRange{{Lo: 0, Hi: 1}},
+		Victims:        []AddrRange{{Lo: 0, Hi: 0}},
+		FlushEnable:    true,
+		VictimNoAccess: true,
+		WindowSize:     8,
+	}
+}
+
+func TestExpandShapingsAxis(t *testing.T) {
+	spec := shapingAxisSpec()
+	spec.Shapings = []env.Shaping{{}, env.DefaultShaping()}
+	jobs, skipped, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(jobs) != 2 {
+		t.Fatalf("shapings axis: %d jobs (%d skipped), want 2/0", len(jobs), skipped)
+	}
+	if jobs[0].Scenario.Env.Shaping.Enable || !jobs[1].Scenario.Env.Shaping.Enable {
+		t.Fatalf("axis order wrong: %+v %+v", jobs[0].Scenario.Env.Shaping, jobs[1].Scenario.Env.Shaping)
+	}
+	if strings.Contains(jobs[0].Scenario.Name, "/shaped") {
+		t.Fatalf("unshaped job name carries the shaped tag: %q", jobs[0].Scenario.Name)
+	}
+	if !strings.Contains(jobs[1].Scenario.Name, "/shaped") {
+		t.Fatalf("shaped job name missing the shaped tag: %q", jobs[1].Scenario.Name)
+	}
+}
+
+// TestShapingsAxisIDStability is the checkpoint-compatibility contract:
+// the unshaped grid point hashes identically to a spec with no Shapings
+// axis at all, and {Enable:true} normalizes to the same grid point as
+// the spelled-out defaults.
+func TestShapingsAxisIDStability(t *testing.T) {
+	base, _, err := shapingAxisSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := shapingAxisSpec()
+	spec.Shapings = []env.Shaping{{}}
+	axis, _, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if axis[0].ID != base[0].ID {
+		t.Fatalf("unshaped axis point ID %s differs from no-axis ID %s", axis[0].ID, base[0].ID)
+	}
+
+	// The canonical JSON of the unshaped scenario must not mention
+	// shaping at all — that is what keeps pre-shaping IDs byte-stable.
+	blob, err := json.Marshal(axis[0].Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(blob), "Shaping") {
+		t.Fatalf("unshaped scenario encoding leaks shaping: %s", blob)
+	}
+
+	// {Enable:true} and DefaultShaping() normalize to one grid point, so
+	// a spec listing both dedups to the bare-enable job's ID.
+	spec.Shapings = []env.Shaping{{Enable: true}}
+	bare, _, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Shapings = []env.Shaping{env.DefaultShaping()}
+	full, _, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare[0].ID != full[0].ID {
+		t.Fatalf("{Enable:true} ID %s differs from DefaultShaping ID %s", bare[0].ID, full[0].ID)
+	}
+	spec.Shapings = []env.Shaping{{Enable: true}, env.DefaultShaping()}
+	both, _, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(both) != 1 {
+		t.Fatalf("equivalent shaping points did not dedup: %d jobs", len(both))
+	}
+}
+
+// TestRunStagedShapedPPO checks the three-stage escalation contract:
+// the shaped-PPO stage runs the default explorer on shaping-enabled
+// copies, and the jobs it leaves at chance escalate with their original
+// unshaped scenarios so plain PPO plays the unmodified game.
+func TestRunStagedShapedPPO(t *testing.T) {
+	spec := Spec{Name: "staged-shaped", Scenarios: []Scenario{chanceScenario(21)}}
+	var mu sync.Mutex
+	type call struct {
+		name   string
+		shaped bool
+	}
+	var ppoCalls []call
+	search := NewExplorerRunner(RunnerOptions{Search: core.SearchBackendOptions{Budget: 500, MaxLen: 3}})
+	rc := RunConfig{
+		Workers: 1,
+		Runner: func(ctx context.Context, job Job) JobResult {
+			if job.Scenario.Explorer == ExplorerSearch {
+				return search(ctx, job)
+			}
+			if job.Scenario.Explorer != "" {
+				t.Errorf("PPO stage got non-default explorer %q", job.Scenario.Explorer)
+			}
+			mu.Lock()
+			ppoCalls = append(ppoCalls, call{job.Scenario.Name, job.Scenario.Env.Shaping.Enable})
+			mu.Unlock()
+			// Fail the shaped stage so the job escalates to plain PPO.
+			return JobResult{}
+		},
+	}
+	staged, err := RunStaged(context.Background(), spec, rc,
+		[]string{ExplorerSearch, ExplorerShapedPPO, "ppo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(staged.Stages) != 3 {
+		t.Fatalf("stages = %d, want 3", len(staged.Stages))
+	}
+	if got := staged.Escalated; len(got) != 2 || got[0] != 1 || got[1] != 1 {
+		t.Fatalf("escalated = %v, want [1 1]", got)
+	}
+	if len(ppoCalls) != 2 {
+		t.Fatalf("PPO ran %d jobs, want 2 (shaped then plain)", len(ppoCalls))
+	}
+	if !ppoCalls[0].shaped || !strings.HasSuffix(ppoCalls[0].name, "/shaped-ppo") {
+		t.Fatalf("stage-2 job not shaped-ppo: %+v", ppoCalls[0])
+	}
+	if ppoCalls[1].shaped || ppoCalls[1].name != "chance" {
+		t.Fatalf("stage-3 job must be the original unshaped scenario: %+v", ppoCalls[1])
+	}
+}

@@ -60,6 +60,14 @@ const (
 	ExplorerProbe   = string(core.ExplorerProbe)
 )
 
+// ExplorerShapedPPO is a staged-escalation stage kind (RunStaged): PPO
+// with the default useless-action reward shaping enabled. It is not a
+// separate backend — the stage stamps env.DefaultShaping onto each
+// pending scenario and runs the default PPO explorer — so it is valid
+// only in a RunStaged stage list, not on the Spec.Explorers axis (use
+// the Shapings axis there).
+const ExplorerShapedPPO = "shaped-ppo"
+
 // normalizeExplorer canonicalizes an explorer-axis value: "ppo" and ""
 // both mean the default backend (and must hash identically, so the
 // default collapses to the empty string). ok is false for unknown kinds.
@@ -143,6 +151,12 @@ type Spec struct {
 	// default PPO backend and collapse to one grid point, with job IDs
 	// identical to a spec without the axis.
 	Explorers []string `json:"explorers,omitempty"`
+	// Shapings is the useless-action reward-shaping axis. The zero value
+	// is the unshaped baseline and hashes identically to a spec without
+	// the axis; an entry with only Enable set selects the default
+	// penalties (env.DefaultShaping). Entries normalize before hashing,
+	// so {Enable:true} and DefaultShaping() collapse to one grid point.
+	Shapings []env.Shaping `json:"shapings,omitempty"`
 	// StepRewards is the per-action penalty axis (Table VI); zero values
 	// select the default -0.01.
 	StepRewards []float64 `json:"step_rewards,omitempty"`
@@ -230,6 +244,7 @@ func (s Spec) Expand() (jobs []Job, skipped int, err error) {
 	defenses := axis(s.Defenses, DefenseNone)
 	rekeys := axis(s.RekeyPeriods, 0)
 	explorers := axis(s.Explorers, ExplorerDefault)
+	shapings := axis(s.Shapings, env.Shaping{})
 	stepRewards := axis(s.StepRewards, 0)
 	seeds := axis(s.Seeds, 1)
 
@@ -272,15 +287,17 @@ func (s Spec) Expand() (jobs []Job, skipped int, err error) {
 							for _, def := range defenses {
 								for _, rekey := range rekeys {
 									for _, exp := range explorers {
-										for _, step := range stepRewards {
-											for _, seed := range seeds {
-												sc, ok := s.gridScenario(base, pol, pf, att, vic, det, def, rekey, exp, step, seed)
-												if !ok {
-													skipped++
-													continue
-												}
-												if err := add(sc); err != nil {
-													return nil, 0, err
+										for _, shp := range shapings {
+											for _, step := range stepRewards {
+												for _, seed := range seeds {
+													sc, ok := s.gridScenario(base, pol, pf, att, vic, det, def, rekey, exp, shp, step, seed)
+													if !ok {
+														skipped++
+														continue
+													}
+													if err := add(sc); err != nil {
+														return nil, 0, err
+													}
 												}
 											}
 										}
@@ -309,9 +326,11 @@ func (s Spec) Expand() (jobs []Job, skipped int, err error) {
 // only the CEASER defense; other defenses ignore it (the identical
 // scenarios it produces dedup by job ID in Expand). exp selects the
 // exploration backend; "ppo" normalizes to the empty default so the
-// job ID stays identical to a spec without the explorer axis.
+// job ID stays identical to a spec without the explorer axis. shp is
+// the reward-shaping point; disabled shaping normalizes to the zero
+// value, keeping pre-shaping job IDs stable.
 func (s Spec) gridScenario(base cache.Config, pol cache.PolicyKind, pf cache.PrefetcherKind,
-	att, vic AddrRange, det, def string, rekey int, exp string, stepReward float64, seed int64) (Scenario, bool) {
+	att, vic AddrRange, det, def string, rekey int, exp string, shp env.Shaping, stepReward float64, seed int64) (Scenario, bool) {
 	explorer, expOK := normalizeExplorer(exp)
 	if !expOK {
 		return Scenario{}, false
@@ -365,6 +384,7 @@ func (s Spec) gridScenario(base cache.Config, pol cache.PolicyKind, pf cache.Pre
 		WindowSize:      s.WindowSize,
 		Warmup:          s.Warmup,
 		LockVictimLines: def == DefensePLCache,
+		Shaping:         shp.Normalize(),
 		Seed:            seed,
 	}
 	if stepReward != 0 {
@@ -405,6 +425,9 @@ func (s Spec) gridScenario(base cache.Config, pol cache.PolicyKind, pf cache.Pre
 	}
 	if explorer != ExplorerDefault {
 		name += "/" + explorer
+	}
+	if ec.Shaping.Enable {
+		name += "/shaped"
 	}
 	if stepReward != 0 {
 		name += fmt.Sprintf("/step%g", stepReward)

@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 
+	"autocat/internal/env"
 	"autocat/internal/obs"
 )
 
@@ -52,6 +53,12 @@ func RunStaged(ctx context.Context, spec Spec, rc RunConfig, explorers []string)
 	}
 	kinds := make([]string, len(explorers))
 	for i, e := range explorers {
+		if e == ExplorerShapedPPO {
+			// A stage kind, not a backend: shaped-PPO runs the default
+			// PPO explorer on shaping-enabled copies of the scenarios.
+			kinds[i] = ExplorerShapedPPO
+			continue
+		}
 		k, ok := normalizeExplorer(e)
 		if !ok {
 			return nil, fmt.Errorf("campaign: unknown explorer %q", e)
@@ -124,11 +131,20 @@ func RunStaged(ctx context.Context, spec Spec, rc RunConfig, explorers []string)
 // withExplorer stamps the explorer kind onto each scenario. Names gain
 // the kind as a suffix for non-default explorers, mirroring grid
 // naming; the default kind leaves both the name and — through the
-// omitempty encoding — the job ID untouched.
+// omitempty encoding — the job ID untouched. The shaped-PPO stage kind
+// stamps default shaping onto the env instead of an explorer: its job
+// IDs differ from the plain-PPO stage through the Shaping config alone,
+// and escalation passes the *original* unshaped scenarios onward, so a
+// job the shaped stage leaves at chance still gets its plain-PPO shot.
 func withExplorer(scs []Scenario, kind string) []Scenario {
 	out := make([]Scenario, len(scs))
 	for i, sc := range scs {
-		sc.Explorer = kind
+		if kind == ExplorerShapedPPO {
+			sc.Explorer = ExplorerDefault
+			sc.Env.Shaping = env.DefaultShaping()
+		} else {
+			sc.Explorer = kind
+		}
 		if kind != ExplorerDefault && sc.Name != "" {
 			sc.Name += "/" + kind
 		}

@@ -356,6 +356,16 @@ func TestGoldenEnvSteps(t *testing.T) {
 			AttackerLo: 0, AttackerHi: 5, VictimLo: 0, VictimHi: 1,
 			VictimNoAccess: true, WindowSize: 10, Seed: 18,
 		}},
+		// Shaped configuration: same geometry as the lru case but with the
+		// useless-action penalties active, pinning the classifier (no-op
+		// access / redundant flush / wasted trigger) and the penalty
+		// arithmetic bit-for-bit in the reward stream.
+		{"shaped", env.Config{
+			Cache:      cache.Config{NumBlocks: 4, NumWays: 2, Policy: cache.LRU},
+			AttackerLo: 0, AttackerHi: 3, VictimLo: 0, VictimHi: 1,
+			FlushEnable: true, VictimNoAccess: true, WindowSize: 10, Seed: 11,
+			Shaping: env.DefaultShaping(),
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -23,6 +23,13 @@ type Rewards struct {
 	LengthViolation float64 // penalty when the episode exceeds the window
 	Detection       float64 // penalty when a detector flags the episode
 	NoGuess         float64 // multi-guess mode: penalty for a guess-free episode
+
+	// Explicit marks an all-zero Rewards as intentional. New historically
+	// treated the zero value as "unset" and substituted DefaultRewards,
+	// which made a genuinely all-zero reward scheme unexpressible. Set
+	// Explicit to keep the zeros. The field marshals omitzero so existing
+	// scenario encodings — and therefore campaign job IDs — are unchanged.
+	Explicit bool `json:",omitzero"`
 }
 
 // DefaultRewards returns the values used throughout the paper's
@@ -36,6 +43,70 @@ func DefaultRewards() Rewards {
 		Detection:       -2,
 		NoGuess:         -2,
 	}
+}
+
+// Shaping configures useless-action reward shaping (after "Efficient
+// RL-based Cache Vulnerability Exploration by Penalizing Useless Agent
+// Actions"): steps that provably cannot advance the attack — an access
+// that neither changed cache state nor revealed a new hit/miss fact, a
+// flush of a non-resident line, a victim trigger that was never re-armed
+// — receive an extra penalty during training. The penalties shape the
+// *training* reward only: evaluation rollouts run with shaping suppressed
+// (see Env.SetShapingEvalMode), so eval accuracy and mean return are
+// those of the unshaped game.
+//
+// Every field marshals omitzero and the zero value means "no shaping",
+// so configs (and campaign job IDs derived from them) that predate this
+// feature keep their exact encodings.
+type Shaping struct {
+	// Enable turns shaping on. With Enable set and every penalty zero,
+	// the DefaultShaping penalties apply.
+	Enable bool `json:",omitzero"`
+	// NoOpAccess is the penalty (<= 0) for an attacker access that hit
+	// without changing replacement state on a line whose residency the
+	// attacker already knew — the access observed nothing and moved
+	// nothing.
+	NoOpAccess float64 `json:",omitzero"`
+	// RedundantFlush is the penalty (<= 0) for flushing a line that was
+	// not resident: the flush invalidated nothing.
+	RedundantFlush float64 `json:",omitzero"`
+	// WastedVictim is the penalty (<= 0) for re-triggering the victim
+	// when it is already triggered and no guess has re-armed it: the
+	// second secret-dependent access can only hit its own line.
+	WastedVictim float64 `json:",omitzero"`
+}
+
+// DefaultShaping returns the tuned shaping penalties. They are
+// deliberately *smaller* than the -0.01 step cost: the penalty's job is
+// to break ties between a useless action and anything else, not to
+// restructure episode returns. Empirically (exp.TableShaping's suite),
+// penalties at 5-10x the step cost slowed convergence on every scenario
+// — the ε-explore phase injects useless actions the policy does not yet
+// control, and penalizing them hard just adds return variance the value
+// baseline must absorb — while half-step-cost penalties reached the
+// first reliable attack in fewer steps on 3 of 4 scenarios.
+func DefaultShaping() Shaping {
+	return Shaping{
+		Enable:         true,
+		NoOpAccess:     -0.005,
+		RedundantFlush: -0.005,
+		WastedVictim:   -0.005,
+	}
+}
+
+// Normalize canonicalizes a Shaping for hashing: disabled shaping
+// collapses to the zero value (penalties without Enable are inert), and
+// Enable with all-zero penalties resolves to DefaultShaping, exactly as
+// env.New would. Campaign job IDs hash the normalized form so equivalent
+// configurations dedup.
+func (s Shaping) Normalize() Shaping {
+	if !s.Enable {
+		return Shaping{}
+	}
+	if s == (Shaping{Enable: true}) {
+		return DefaultShaping()
+	}
+	return s
 }
 
 // Target is the cache implementation the environment drives: the software
@@ -84,8 +155,13 @@ type Config struct {
 	Warmup int
 
 	// Rewards configures the reward signal; the zero value selects
-	// DefaultRewards.
+	// DefaultRewards (set Rewards.Explicit for literal zeros).
 	Rewards Rewards
+
+	// Shaping configures useless-action reward shaping. The zero value
+	// disables it and marshals to nothing, keeping pre-shaping job IDs
+	// stable.
+	Shaping Shaping `json:",omitzero"`
 
 	// Detector optionally screens the episode (detection_enable).
 	Detector detect.Detector
@@ -141,6 +217,9 @@ func (c Config) Validate() error {
 	}
 	if c.DetectPenaltyCoef > 0 {
 		return fmt.Errorf("env: DetectPenaltyCoef must be <= 0, got %v", c.DetectPenaltyCoef)
+	}
+	if c.Shaping.NoOpAccess > 0 || c.Shaping.RedundantFlush > 0 || c.Shaping.WastedVictim > 0 {
+		return fmt.Errorf("env: shaping penalties must be <= 0, got %+v", c.Shaping)
 	}
 	return nil
 }

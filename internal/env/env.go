@@ -49,6 +49,18 @@ type Env struct {
 	guesses   int
 	hits      int // correct guesses this episode
 
+	// Useless-action classification state (reward shaping). known[i]
+	// records whether the attacker already knows address AttackerLo+i is
+	// resident: set by the attacker's own accesses, cleared by flushes
+	// and by evictions of attacker-range lines. Classification always
+	// runs (the counters feed useless_action_rate); the penalties apply
+	// only when cfg.Shaping.Enable is set and the env is not in eval
+	// mode.
+	known                             []bool
+	evalMode                          bool // suppress shaping penalties (rl.Evaluate)
+	epNoOps, epRedFlush, epWastedTrig int  // per-episode classification counts
+	epPenalized                       int  // steps that actually received a shaping penalty
+
 	window      int
 	history     []stepFeature // preallocated to MaxSteps, reused across Reset
 	trace       []TraceStep   // preallocated to MaxSteps, reused across Reset
@@ -70,9 +82,15 @@ func New(cfg Config) (*Env, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// The zero value means "unset" and selects the paper defaults. An
+	// intentionally all-zero scheme sets Rewards.Explicit, which makes the
+	// struct non-zero and skips the substitution.
 	if cfg.Rewards == (Rewards{}) {
 		cfg.Rewards = DefaultRewards()
 	}
+	// Disabled shaping collapses to the zero value; Enable with only
+	// zero penalties selects the defaults.
+	cfg.Shaping = cfg.Shaping.Normalize()
 	target := cfg.Target
 	if target == nil {
 		cc := cfg.Cache
@@ -105,6 +123,7 @@ func New(cfg Config) (*Env, error) {
 	// allocation in the step hot path).
 	e.history = make([]stepFeature, 0, e.MaxSteps())
 	e.trace = make([]TraceStep, 0, e.MaxSteps())
+	e.known = make([]bool, int(cfg.AttackerHi-cfg.AttackerLo)+1)
 	e.resetState()
 	return e, nil
 }
@@ -176,6 +195,42 @@ func (e *Env) Trace() []TraceStep { return e.trace }
 // EpisodeGuesses returns (correct, total) guesses in the current episode.
 func (e *Env) EpisodeGuesses() (correct, total int) { return e.hits, e.guesses }
 
+// EpisodeUseless returns the number of steps classified useless this
+// episode (no-op accesses + redundant flushes + wasted victim triggers).
+// Classification runs whether or not shaping penalties are enabled, so
+// shaped and plain runs report comparable useless-action rates.
+func (e *Env) EpisodeUseless() int { return e.epNoOps + e.epRedFlush + e.epWastedTrig }
+
+// SetShapingEvalMode suppresses (true) or restores (false) shaping
+// penalties without touching the configuration. rl.Evaluate brackets its
+// greedy rollouts with it, which is the mechanical half of the
+// training-reward-only contract: eval returns are those of the unshaped
+// game even when the training env shapes. Classification counters keep
+// running either way.
+func (e *Env) SetShapingEvalMode(eval bool) { e.evalMode = eval }
+
+// shapingActive reports whether shaping penalties currently apply.
+func (e *Env) shapingActive() bool { return e.cfg.Shaping.Enable && !e.evalMode }
+
+// forgetEvicted clears the attacker's residency knowledge for every
+// attacker-range line an access displaced. Runs on the step hot path;
+// evs is almost always empty or tiny.
+func (e *Env) forgetEvicted(evs []cache.Eviction) {
+	for _, ev := range evs {
+		if ev.EvictedAddr >= e.cfg.AttackerLo && ev.EvictedAddr <= e.cfg.AttackerHi {
+			e.known[int(ev.EvictedAddr-e.cfg.AttackerLo)] = false
+		}
+	}
+}
+
+// forgetAll clears all residency knowledge (victim triggered: every
+// line's state is uncertain until re-probed).
+func (e *Env) forgetAll() {
+	for i := range e.known {
+		e.known[i] = false
+	}
+}
+
 // resetState re-randomizes the secret, re-warms the cache, and clears the
 // observation history.
 func (e *Env) resetState() {
@@ -201,6 +256,8 @@ func (e *Env) resetState() {
 	e.trace = e.trace[:0]
 	e.history = e.history[:0]
 	e.pfArena = e.pfArena[:0]
+	e.forgetAll()
+	e.epNoOps, e.epRedFlush, e.epWastedTrig, e.epPenalized = 0, 0, 0, 0
 	e.warmup()
 	if e.cfg.PreloadVictimLines {
 		// Installed after warm-up so the lines are resident (though
@@ -307,16 +364,55 @@ func (e *Env) StepInto(action int, obs []float64) (reward float64, done bool) {
 			lat = latMiss
 		}
 		reward = e.cfg.Rewards.Step
+		// Useless-action classification: a hit that changed no cache
+		// state on a line whose residency was already known observed
+		// nothing and moved nothing.
+		ki := int(dec.addr - e.cfg.AttackerLo)
+		if res.Hit && !res.StateChanged && e.known[ki] {
+			e.epNoOps++
+			if e.shapingActive() {
+				reward += e.cfg.Shaping.NoOpAccess
+				e.epPenalized++
+			}
+		}
+		e.known[ki] = res.Hit || res.StateChanged
+		e.forgetEvicted(res.Evictions)
 		e.record(detect.Access{
 			Dom: cache.DomainAttacker, Addr: dec.addr,
 			Set: e.target.SetOf(dec.addr), Hit: res.Hit, Evictions: res.Evictions,
 		})
 	case KindFlush:
-		e.target.Flush(dec.addr)
+		resident := e.target.Flush(dec.addr)
 		reward = e.cfg.Rewards.Step
+		if !resident {
+			// Redundant flush: the line was not cached, nothing was
+			// invalidated.
+			e.epRedFlush++
+			if e.shapingActive() {
+				reward += e.cfg.Shaping.RedundantFlush
+				e.epPenalized++
+			}
+		}
+		e.known[int(dec.addr-e.cfg.AttackerLo)] = false
 	case KindVictim:
 		reward = e.cfg.Rewards.Step
+		if e.triggered {
+			// Wasted trigger: the victim already ran and no guess re-armed
+			// it; its secret-dependent access can only hit its own line.
+			e.epWastedTrig++
+			if e.shapingActive() {
+				reward += e.cfg.Shaping.WastedVictim
+				e.epPenalized++
+			}
+		}
 		e.triggered = true
+		// The victim may have run: every line's residency is stale from
+		// the attacker's view until re-probed, so the first probe after a
+		// trigger is never a no-op — it reads the channel. (Clearing only
+		// the victim's actual evictions would leak oracle state into the
+		// classifier: on idle-secret episodes nothing would be forgotten
+		// and the information-bearing probe hit would be penalized.)
+		e.forgetAll()
 		if e.secret != NoAccess {
 			res := e.target.Access(e.secret, cache.DomainVictim)
 			step.Latency = res.Latency
@@ -407,6 +503,10 @@ func (e *Env) flushObs() {
 	obs.EnvEpisodes.Inc()
 	obs.EnvGuesses.Add(uint64(e.guesses))
 	obs.EnvCorrectGuesses.Add(uint64(e.hits))
+	obs.EnvNoOpAccesses.Add(uint64(e.epNoOps))
+	obs.EnvRedundantFlush.Add(uint64(e.epRedFlush))
+	obs.EnvWastedTriggers.Add(uint64(e.epWastedTrig))
+	obs.EnvShapingPenalty.Add(uint64(e.epPenalized))
 }
 
 // Verdict returns the detector's end-of-episode verdict. The boolean is

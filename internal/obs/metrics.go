@@ -11,6 +11,14 @@ var (
 	EnvGuesses        = NewCounter("env.guesses_total")
 	EnvCorrectGuesses = NewCounter("env.correct_guesses_total")
 
+	// Useless-action classification (reward shaping; counted whether or
+	// not shaping penalties are enabled, so shaped and plain runs report
+	// comparable rates).
+	EnvNoOpAccesses   = NewCounter("env.noop_accesses_total")
+	EnvRedundantFlush = NewCounter("env.redundant_flushes_total")
+	EnvWastedTriggers = NewCounter("env.wasted_triggers_total")
+	EnvShapingPenalty = NewCounter("env.shaping_penalized_steps_total")
+
 	// Cache model (flushed on cache.Reset from internal/cache).
 	CacheAccesses = NewCounter("cache.accesses_total")
 	CacheHits     = NewCounter("cache.hits_total")

@@ -45,6 +45,17 @@ type FirstReliable struct {
 	Scenario string
 	Job      string
 	Elapsed  time.Duration
+	// Steps counts the environment transitions PPO collected for the
+	// winning job before the attack became reliable (summed from the
+	// job's ppo.epoch events). Zero for jobs solved without training.
+	Steps int
+	// UselessRate is the useless-classified fraction of every PPO step
+	// recorded for this scenario across the whole run (all stages, all
+	// jobs that normalize to this name), weighted by per-epoch step
+	// counts. Valid only when RateKnown is set — search-only scenarios
+	// journal no per-step classification.
+	UselessRate float64
+	RateKnown   bool
 }
 
 // BuildRunReport digests journal events into a RunReport. normalize, if
@@ -87,6 +98,9 @@ func BuildRunReport(events []Event, normalize func(string) string) *RunReport {
 	var done []doneJob
 	firstSeen := make(map[string]FirstReliable)
 	ppoJobs := make(map[string]bool)
+	jobSteps := make(map[string]float64)    // cumulative env steps per job
+	scenSteps := make(map[string]float64)   // cumulative env steps per normalized scenario
+	scenUseless := make(map[string]float64) // cumulative useless-classified steps, same key
 	for _, ev := range events {
 		switch ev.Kind {
 		case EvCampaignStart:
@@ -112,17 +126,30 @@ func BuildRunReport(events []Event, normalize func(string) string) *RunReport {
 			if ev.Job != "" {
 				ppoJobs[ev.Job] = true
 			}
+			// EpochStats marshals under its Go field names (no json tags).
+			steps := dataNum(ev.Data, "Steps")
+			jobSteps[ev.Job] += steps
+			name := normalize(ev.Name)
+			scenSteps[name] += steps
+			scenUseless[name] += dataNum(ev.Data, "UselessRate") * steps
 		case EvFirstReliable:
 			name := normalize(ev.Name)
 			el := time.Duration(ev.TS-startUS) * time.Microsecond
 			if prev, ok := firstSeen[name]; !ok || el < prev.Elapsed {
-				firstSeen[name] = FirstReliable{Scenario: name, Job: ev.Job, Elapsed: el}
+				// Events are journaled in time order, so jobSteps holds
+				// exactly the steps the job trained before this moment.
+				firstSeen[name] = FirstReliable{Scenario: name, Job: ev.Job,
+					Elapsed: el, Steps: int(jobSteps[ev.Job])}
 			}
 		}
 	}
 	r.PPOJobs = len(ppoJobs)
 
-	for _, fr := range firstSeen {
+	for name, fr := range firstSeen {
+		if s := scenSteps[name]; s > 0 {
+			fr.UselessRate = scenUseless[name] / s
+			fr.RateKnown = true
+		}
 		r.FirstReliable = append(r.FirstReliable, fr)
 	}
 	sort.Slice(r.FirstReliable, func(i, j int) bool {
@@ -208,8 +235,17 @@ func (r *RunReport) Format(w io.Writer) {
 	}
 	if len(r.FirstReliable) > 0 {
 		fmt.Fprintf(w, "\ntime to first reliable attack:\n")
+		fmt.Fprintf(w, "  %-44s %10s %12s %9s\n", "scenario", "elapsed", "steps", "useless")
 		for _, fr := range r.FirstReliable {
-			fmt.Fprintf(w, "  %-44s %10s  (job %s)\n", fr.Scenario, fmtDur(fr.Elapsed), fr.Job)
+			steps, useless := "-", "-"
+			if fr.Steps > 0 {
+				steps = fmt.Sprintf("%d", fr.Steps)
+			}
+			if fr.RateKnown {
+				useless = fmt.Sprintf("%.1f%%", 100*fr.UselessRate)
+			}
+			fmt.Fprintf(w, "  %-44s %10s %12s %9s  (job %s)\n",
+				fr.Scenario, fmtDur(fr.Elapsed), steps, useless, fr.Job)
 		}
 	}
 }

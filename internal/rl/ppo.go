@@ -138,15 +138,17 @@ func (c PPOConfig) withDefaults() PPOConfig {
 
 // EpochStats summarizes one training epoch.
 type EpochStats struct {
-	Epoch      int
-	Episodes   int
-	MeanReward float64 // mean episode return
-	MeanLength float64 // mean episode length (steps)
-	Accuracy   float64 // correct guesses / total guesses
-	GuessRate  float64 // guesses / steps (the bit-rate proxy of §V-D)
-	Entropy    float64 // mean policy entropy over collected steps
-	PolicyLoss float64
-	ValueLoss  float64
+	Epoch       int
+	Episodes    int
+	Steps       int     // transitions collected this epoch
+	MeanReward  float64 // mean episode return
+	MeanLength  float64 // mean episode length (steps)
+	Accuracy    float64 // correct guesses / total guesses
+	GuessRate   float64 // guesses / steps (the bit-rate proxy of §V-D)
+	UselessRate float64 // useless-classified steps / steps (reward shaping)
+	Entropy     float64 // mean policy entropy over collected steps
+	PolicyLoss  float64
+	ValueLoss   float64
 }
 
 // Result is the outcome of a full training run.
@@ -294,6 +296,7 @@ type actorResult struct {
 	sumLen   int
 	guesses  int
 	correct  int
+	useless  int // steps classified useless across completed episodes
 }
 
 // collect gathers ~StepsPerEpoch transitions by stepping every
@@ -397,6 +400,7 @@ func (t *Trainer) stepLockstep(i, budget, obsDim int, lrow []float64, value floa
 	res.sumLen += len(buf.trans) - buf.epStart
 	res.guesses += guesses
 	res.correct += correct
+	res.useless += e.EpisodeUseless()
 	t.gae(buf.trans[buf.epStart:])
 	if len(buf.trans) >= budget {
 		res.trans = buf.trans // retired: drops out of the active set
@@ -473,6 +477,7 @@ func (t *Trainer) Epoch(epochIdx int) EpochStats {
 	batch := t.batch[:0]
 	st := EpochStats{Epoch: epochIdx}
 	entSum := 0.0
+	useless := 0
 	for _, r := range results {
 		batch = append(batch, r.trans...)
 		st.Episodes += r.episodes
@@ -480,6 +485,7 @@ func (t *Trainer) Epoch(epochIdx int) EpochStats {
 		st.MeanLength += float64(r.sumLen)
 		st.GuessRate += float64(r.guesses)
 		st.Accuracy += float64(r.correct)
+		useless += r.useless
 	}
 	for _, tr := range batch {
 		entSum += tr.entropy
@@ -491,8 +497,10 @@ func (t *Trainer) Epoch(epochIdx int) EpochStats {
 	if st.GuessRate > 0 {
 		st.Accuracy /= st.GuessRate // correct / guesses
 	}
+	st.Steps = len(batch)
 	if len(batch) > 0 {
 		st.GuessRate /= float64(len(batch)) // guesses / steps
+		st.UselessRate = float64(useless) / float64(len(batch))
 		st.Entropy = entSum / float64(len(batch))
 	}
 

@@ -20,6 +20,12 @@ type Episode struct {
 // (§IV-C).
 func ReplayGreedy(net nn.PolicyValueNet, e *env.Env) Episode {
 	var ep Episode
+	// Training-reward-only contract: greedy replay plays the unshaped
+	// game even on a shaping-enabled env, so evaluation returns (and the
+	// convergence test built on them) are comparable across shaped and
+	// plain training runs.
+	e.SetShapingEvalMode(true)
+	defer e.SetShapingEvalMode(false)
 	obs := e.Reset()
 	done := false
 	for !done {
