@@ -36,6 +36,7 @@ import (
 	"autocat/internal/covert"
 	"autocat/internal/detect"
 	"autocat/internal/env"
+	"autocat/internal/faults"
 	"autocat/internal/hw"
 	"autocat/internal/nn"
 	"autocat/internal/obs"
@@ -427,6 +428,9 @@ type (
 	CampaignStagedResult = campaign.StagedResult
 	// CampaignStageResult is one escalation stage's outcome.
 	CampaignStageResult = campaign.StageResult
+	// CampaignRetryPolicy bounds re-runs of transiently failed jobs
+	// (attempt cap + deterministic exponential backoff).
+	CampaignRetryPolicy = campaign.RetryPolicy
 )
 
 // Campaign explorer-axis values (CampaignSpec.Explorers and
@@ -475,6 +479,34 @@ func CanonicalizeAttack(e *Env, actions []int) string { return campaign.Canonica
 func CampaignWriterProgress(w io.Writer) func(CampaignProgress) {
 	return campaign.WriterProgress(w)
 }
+
+// Fault-injection surface (internal/faults): the seeded, deterministic
+// chaos harness behind the campaign fault-tolerance tests. Disarmed —
+// the default — every site check is a nil pointer load.
+type (
+	// FaultPlan arms named fault sites with call-count or probability
+	// triggers.
+	FaultPlan = faults.Plan
+	// FaultSitePlan arms one site of a FaultPlan.
+	FaultSitePlan = faults.SitePlan
+)
+
+// FaultsEnvVar is the environment variable the CLIs arm fault plans
+// from (e.g. AUTOCAT_FAULTS="checkpoint.write:nth=7;runner.panic:nth=3").
+const FaultsEnvVar = faults.EnvVar
+
+// ArmFaults installs a fault plan, replacing any previous arming.
+func ArmFaults(p FaultPlan) error { return faults.Arm(p) }
+
+// ArmFaultsFromEnv arms the plan in $AUTOCAT_FAULTS, if set, returning
+// the armed plan string ("" when unset).
+func ArmFaultsFromEnv() (string, error) { return faults.ArmFromEnv() }
+
+// DisarmFaults removes the active fault plan.
+func DisarmFaults() { faults.Disarm() }
+
+// ParseFaultPlan decodes the "site:nth=N[,p=F...];site2:..." grammar.
+func ParseFaultPlan(s string) (FaultPlan, error) { return faults.Parse(s) }
 
 // Telemetry surface (internal/obs): the per-run event journal, the
 // metrics snapshot, and the live debug endpoint.

@@ -48,6 +48,10 @@ func main() {
 	searchMaxLen := fs.Int("search-max-len", 0, "search explorer: longest prefix tried (0 = auto)")
 	debugAddr := fs.String("debug-addr", "", "serve a live JSON metrics snapshot at /metrics and pprof at /debug/pprof on this address (empty disables)")
 	journalPath := fs.String("journal", "auto", "telemetry journal path; 'auto' writes telemetry.jsonl next to the checkpoint, 'off' disables")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job deadline; a timed-out job records a retryable error (0 disables)")
+	retries := fs.Int("retries", 1, "max attempts per job; transient failures (panic, timeout, I/O) retry with backoff")
+	retryBackoff := fs.Duration("retry-backoff", 0, "base delay before the first retry, doubled per attempt (0 = 100ms)")
+	retryFailed := fs.Bool("retry-failed", false, "with -resume: re-dispatch every checkpointed failure, retryable or not")
 
 	// Grid flags, used when -spec is absent.
 	name := fs.String("name", "cli", "campaign name")
@@ -111,12 +115,25 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Deterministic chaos: an AUTOCAT_FAULTS plan injects failures at
+	// named sites so the fault-tolerance path can be exercised end to
+	// end (CI does exactly this). Loud on purpose — an armed plan in a
+	// real campaign is almost certainly a leftover environment variable.
+	if plan, err := autocat.ArmFaultsFromEnv(); err != nil {
+		fatal(err)
+	} else if plan != "" {
+		fmt.Printf("WARNING: fault injection armed via %s=%q\n", autocat.FaultsEnvVar, plan)
+	}
+
 	rc := autocat.CampaignRunConfig{
-		Workers:    *workers,
-		Checkpoint: *checkpoint,
-		Resume:     *resume,
-		Scale:      *scale,
-		Artifacts:  *artifacts,
+		Workers:     *workers,
+		Checkpoint:  *checkpoint,
+		Resume:      *resume,
+		Scale:       *scale,
+		Artifacts:   *artifacts,
+		JobTimeout:  *jobTimeout,
+		Retry:       autocat.CampaignRetryPolicy{MaxAttempts: *retries, BaseBackoff: *retryBackoff},
+		RetryFailed: *retryFailed,
 		Search: autocat.SearchBackendOptions{
 			Budget: *searchBudget,
 			MaxLen: *searchMaxLen,

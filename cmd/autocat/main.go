@@ -25,6 +25,15 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Honor a deterministic fault-injection plan for chaos testing (see
+	// internal/faults); loud because a leftover plan in a real session
+	// would corrupt measurements.
+	if plan, err := autocat.ArmFaultsFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "autocat:", err)
+		os.Exit(2)
+	} else if plan != "" {
+		fmt.Fprintf(os.Stderr, "WARNING: fault injection armed via %s=%q\n", autocat.FaultsEnvVar, plan)
+	}
 	switch os.Args[1] {
 	case "explore":
 		explore(os.Args[2:])

@@ -23,6 +23,7 @@ import (
 
 	"autocat/internal/core"
 	"autocat/internal/env"
+	"autocat/internal/faults"
 )
 
 // Artifact is one persisted attack discovery.
@@ -102,8 +103,23 @@ func OpenArtifactStore(dir string) (*ArtifactStore, error) {
 	for _, a := range arts {
 		s.seen[a.ID] = true
 	}
-	f, err := os.OpenFile(s.indexPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(s.indexPath(), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
+		return nil, err
+	}
+	// A killed process may leave a torn final line. Repair it before
+	// appending, or the next record would concatenate onto the fragment
+	// and be silently lost as one invalid line.
+	end, err := repairTornTail(f, func(tail []byte) bool {
+		var a Artifact
+		return json.Unmarshal(tail, &a) == nil && a.ID != ""
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(end, 0); err != nil {
+		f.Close()
 		return nil, err
 	}
 	s.f = f
@@ -136,6 +152,11 @@ func (s *ArtifactStore) Close() error {
 // index. It returns the completed artifact and whether it was novel;
 // a rediscovered artifact writes nothing.
 func (s *ArtifactStore) Put(a Artifact) (Artifact, bool, error) {
+	// Fault site before any mutation: an injected failure models a full
+	// or broken disk without leaving half an artifact behind.
+	if err := faults.ErrorAt("artifact.put"); err != nil {
+		return a, false, err
+	}
 	weights := a.Replay.Weights
 	if len(weights) > 0 {
 		a.WeightsHash = hashBytes(weights)
@@ -221,6 +242,12 @@ func (s *ArtifactStore) List() ([]Artifact, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	// Same contract as LoadCheckpoint: only a newline-less final line is
+	// a tolerable torn write; malformed complete lines mean the file is
+	// not an artifact index.
+	if pendingErr != nil && endsWithNewline(f) {
+		return nil, pendingErr
 	}
 	return out, nil
 }

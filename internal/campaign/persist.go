@@ -9,6 +9,8 @@ import (
 	"io"
 	"io/fs"
 	"os"
+
+	"autocat/internal/faults"
 )
 
 // LoadCheckpoint reads a JSONL results file into a map keyed by job ID,
@@ -51,13 +53,37 @@ func LoadCheckpoint(path string) (map[string]JobResult, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	// A torn final line is a prefix of a record, so it never includes the
+	// trailing newline. A malformed final line WITH its newline was fully
+	// written as garbage: refuse the file rather than quietly drop it.
+	if pendingErr != nil && endsWithNewline(f) {
+		return nil, pendingErr
+	}
 	return out, nil
+}
+
+// endsWithNewline reports whether the open file's last byte is '\n'.
+func endsWithNewline(f *os.File) bool {
+	st, err := f.Stat()
+	if err != nil || st.Size() == 0 {
+		return false
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], st.Size()-1); err != nil {
+		return false
+	}
+	return b[0] == '\n'
 }
 
 // checkpointWriter appends job results to a JSONL file, syncing after
 // every record so a killed process loses at most the in-flight jobs.
+// off tracks the end of the last fully committed record so a failed
+// write can roll back its partial line: retried appends must start
+// clean, or a transient failure would turn into mid-file corruption —
+// fatal on the next load — instead of a tolerated torn tail.
 type checkpointWriter struct {
-	f *os.File
+	f   *os.File
+	off int64
 }
 
 func newCheckpointWriter(path string) (*checkpointWriter, error) {
@@ -78,7 +104,7 @@ func newCheckpointWriter(path string) (*checkpointWriter, error) {
 		f.Close()
 		return nil, err
 	}
-	return &checkpointWriter{f: f}, nil
+	return &checkpointWriter{f: f, off: end}, nil
 }
 
 // truncateTornTail repairs a file whose final line has no newline and
@@ -88,6 +114,20 @@ func newCheckpointWriter(path string) (*checkpointWriter, error) {
 // re-terminate it instead. Anything else is a torn fragment and is cut
 // back to the previous newline.
 func truncateTornTail(f *os.File) (int64, error) {
+	return repairTornTail(f, func(tail []byte) bool {
+		var jr JobResult
+		return json.Unmarshal(tail, &jr) == nil && jr.JobID != ""
+	})
+}
+
+// repairTornTail is the shared torn-tail repair for append-only JSONL
+// files (checkpoints, the artifact index): if the final line has no
+// newline and valid says it is a complete record, re-terminate it;
+// otherwise cut the fragment back to the previous newline. Returns the
+// resulting size, i.e. the append offset. Without this repair a new
+// record appended after a torn fragment would concatenate onto it and
+// be silently lost as one long invalid line.
+func repairTornTail(f *os.File, valid func(tail []byte) bool) (int64, error) {
 	blob, err := io.ReadAll(f)
 	if err != nil {
 		return 0, err
@@ -97,8 +137,7 @@ func truncateTornTail(f *os.File) (int64, error) {
 		return end, nil
 	}
 	cut := int64(bytes.LastIndexByte(blob, '\n') + 1)
-	var jr JobResult
-	if json.Unmarshal(blob[cut:], &jr) == nil && jr.JobID != "" {
+	if valid(blob[cut:]) {
 		if _, err := f.WriteAt([]byte("\n"), end); err != nil {
 			return 0, err
 		}
@@ -111,16 +150,32 @@ func truncateTornTail(f *os.File) (int64, error) {
 }
 
 // Append writes one result line. Callers serialize calls (the scheduler
-// holds its lock).
+// holds its lock). A failed write rolls the file back to the last
+// committed record; a failed Sync leaves the record in place, so a
+// retry may append a duplicate line — harmless, LoadCheckpoint keeps
+// the last record per job ID.
 func (w *checkpointWriter) Append(jr JobResult) error {
+	if err := faults.ErrorAt("checkpoint.write"); err != nil {
+		return err
+	}
 	blob, err := json.Marshal(jr)
 	if err != nil {
 		return err
 	}
-	if _, err := w.f.Write(append(blob, '\n')); err != nil {
+	n, err := w.f.Write(append(blob, '\n'))
+	if err != nil {
+		w.f.Truncate(w.off)
+		w.f.Seek(w.off, 0)
 		return err
 	}
-	return w.f.Sync()
+	w.off += int64(n)
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	// The crash-equivalence site: a record is fully durable here, so an
+	// injected hard abort models kill -9 at a job boundary.
+	faults.CrashAt("checkpoint.crash")
+	return nil
 }
 
 func (w *checkpointWriter) Close() error { return w.f.Close() }

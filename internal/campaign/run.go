@@ -3,14 +3,18 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
 	"autocat/internal/core"
 	"autocat/internal/detect"
 	"autocat/internal/env"
+	"autocat/internal/faults"
 	"autocat/internal/nn"
 	"autocat/internal/obs"
 	"autocat/internal/rl"
@@ -46,6 +50,15 @@ type JobResult struct {
 	Accuracy         float64 `json:"accuracy"`
 	MeanLength       float64 `json:"mean_length"`
 	DurationMS       int64   `json:"duration_ms"`
+	// Attempts is how many times the job ran before this result; it is
+	// recorded only when retries happened (omitempty keeps every
+	// pre-retry checkpoint and golden byte-identical, and a missing
+	// field means the single attempt stood).
+	Attempts int `json:"attempts,omitempty"`
+	// Retryable marks a failure whose error class is transient (panic,
+	// per-job timeout, I/O): resume re-dispatches such jobs instead of
+	// skipping them forever as "completed".
+	Retryable bool `json:"retryable,omitempty"`
 }
 
 // Progress is one campaign progress event, emitted after every job
@@ -72,6 +85,9 @@ type Progress struct {
 	// ETA estimates the remaining wall-clock time at the current rate;
 	// zero when no rate is known yet or nothing remains.
 	ETA time.Duration
+	// MaxAttempts is the campaign's per-job attempt budget, so sinks can
+	// render "[retry 2/3]" without holding the RunConfig.
+	MaxAttempts int
 }
 
 // Runner executes one job and returns its result with JobID, Index,
@@ -79,6 +95,18 @@ type Progress struct {
 // default runner trains a full core.Explorer; tests and throughput
 // benchmarks substitute stubs.
 type Runner func(ctx context.Context, job Job) JobResult
+
+// RetryPolicy bounds re-runs of transiently failed jobs.
+type RetryPolicy struct {
+	// MaxAttempts caps total runs of one job, first try included;
+	// values below 1 mean 1 (no retries).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; retry k waits
+	// BaseBackoff<<(k-1), capped at 30s, jittered ±25% deterministically
+	// from the job ID so campaign schedules replay identically. 0 means
+	// 100ms.
+	BaseBackoff time.Duration
+}
 
 // RunConfig controls campaign execution.
 type RunConfig struct {
@@ -121,6 +149,18 @@ type RunConfig struct {
 	// Runner overrides job execution; nil selects the explorer runner
 	// (which dispatches on each scenario's Explorer kind).
 	Runner Runner
+	// JobTimeout bounds each job attempt with its own context deadline;
+	// a timed-out attempt records a distinct, retryable error class.
+	// 0 disables per-job deadlines.
+	JobTimeout time.Duration
+	// Retry re-runs jobs whose failure is classified transient (panic,
+	// timeout, I/O) with deterministic exponential backoff. The zero
+	// value disables retries.
+	Retry RetryPolicy
+	// RetryFailed forces every checkpointed failure — retryable or not —
+	// back into the pending set on resume, for operators who fixed the
+	// underlying cause out of band.
+	RetryFailed bool
 }
 
 // Result is a completed (or interrupted) campaign.
@@ -189,8 +229,16 @@ func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
 	// is already in the journal from the earlier invocation).
 	firstReliable := map[string]bool{}
 	var pending []Job
+	redispatched := 0
 	for _, job := range jobs {
 		prev, ok := done[job.ID]
+		// A checkpointed failure is not final when its error class is
+		// transient (or the operator forces the issue): re-dispatch it
+		// instead of carrying the failure forever.
+		if ok && prev.Error != "" && (rc.RetryFailed || prev.Retryable) {
+			ok = false
+			redispatched++
+		}
 		if !ok {
 			// Prefill the labels so jobs never reached (cancellation)
 			// still render usefully in summaries; a zero JobID marks
@@ -216,12 +264,16 @@ func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
 			firstReliable[prev.Name] = true
 		}
 	}
-	rc.Journal.Emit(obs.Event{Kind: obs.EvCampaignStart, Name: spec.Name, Data: map[string]any{
+	startData := map[string]any{
 		"jobs":    len(jobs),
 		"pending": len(pending),
 		"resumed": res.Resumed,
 		"workers": rc.Workers,
-	}})
+	}
+	if redispatched > 0 {
+		startData["redispatched"] = redispatched
+	}
+	rc.Journal.Emit(obs.Event{Kind: obs.EvCampaignStart, Name: spec.Name, Data: startData})
 
 	var ckpt *checkpointWriter
 	if rc.Checkpoint != "" {
@@ -264,6 +316,7 @@ func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
 			Result:      jr,
 			CatalogSize: res.Catalog.Len(),
 			Elapsed:     time.Since(start),
+			MaxAttempts: rc.Retry.MaxAttempts,
 		}
 		if res.Completed > 0 && p.Elapsed > 0 {
 			p.JobsPerSec = float64(res.Completed) / p.Elapsed.Seconds()
@@ -309,17 +362,7 @@ func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
 				t0 := time.Now()
 				rc.Journal.Emit(obs.Event{Kind: obs.EvJobStart, Job: job.ID, Name: job.Scenario.Name,
 					Data: map[string]any{"explorer": job.Scenario.Explorer}})
-				// Scope the job's context so telemetry emitted inside the
-				// explorer (per-epoch stats, spans) lands in the journal
-				// with this job's attribution. Explorer configs stay
-				// untouched — they feed ParamsHash.
-				jctx := ctx
-				if rc.Journal != nil {
-					jctx = obs.WithScope(ctx, obs.Scope{
-						Journal: rc.Journal, Job: job.ID, Name: job.Scenario.Name,
-					})
-				}
-				jr := rc.Runner(jctx, job)
+				jr := runSupervised(ctx, rc, job)
 				nn.ReleaseComputeToken()
 				// Once cancelled, an error result is presumed an abort
 				// artifact (runners may wrap the context error): drop
@@ -372,7 +415,7 @@ func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
 				}
 				rc.Journal.Emit(jobDoneEvent(&jr, novel, res.Catalog.Len()))
 				if ckpt != nil && ckptErr == nil {
-					if err := ckpt.Append(jr); err != nil {
+					if err := appendWithRetry(ctx, ckpt, rc.Retry, jr); err != nil {
 						ckptErr = fmt.Errorf("campaign: checkpoint write: %w", err)
 						abort()
 					}
@@ -415,6 +458,175 @@ dispatch:
 	return res, ctx.Err()
 }
 
+// runSupervised executes one job under the fault-tolerance contract:
+// every attempt runs behind a recover boundary with the per-job
+// deadline applied, and a failure classified transient retries with
+// deterministic exponential backoff as long as the attempt budget and
+// the campaign context allow. The worker's compute token stays held
+// across attempts and backoff sleeps — a retrying job is still one
+// scheduled job, not a chance to oversubscribe.
+func runSupervised(ctx context.Context, rc RunConfig, job Job) JobResult {
+	budget := rc.Retry.MaxAttempts
+	if budget < 1 {
+		budget = 1
+	}
+	var jr JobResult
+	for attempt := 1; ; attempt++ {
+		jr = runAttempt(ctx, rc, job, attempt)
+		if attempt > 1 {
+			jr.Attempts = attempt
+		}
+		if jr.Error == "" || !jr.Retryable || attempt >= budget || ctx.Err() != nil {
+			return jr
+		}
+		obs.CampaignJobRetries.Inc()
+		delay := retryBackoff(rc.Retry, job.ID, attempt)
+		rc.Journal.Emit(obs.Event{Kind: obs.EvJobRetry, Job: job.ID, Name: job.Scenario.Name,
+			Data: map[string]any{
+				"attempt":    attempt,
+				"max":        budget,
+				"error":      jr.Error,
+				"backoff_ms": float64(delay.Nanoseconds()) / 1e6,
+			}})
+		select {
+		case <-ctx.Done():
+			return jr
+		case <-time.After(delay):
+		}
+	}
+}
+
+// runAttempt runs the runner once: recover boundary, optional per-job
+// deadline, job-scoped telemetry, and error classification. A panic
+// loses only this attempt — it becomes a retryable JobResult carrying
+// the message, with the stack preserved in the journal.
+func runAttempt(ctx context.Context, rc RunConfig, job Job, attempt int) (jr JobResult) {
+	actx := ctx
+	if rc.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, rc.JobTimeout)
+		defer cancel()
+	}
+	// Scope the job's context so telemetry emitted inside the explorer
+	// (per-epoch stats, spans) lands in the journal with this job's
+	// attribution. Explorer configs stay untouched — they feed
+	// ParamsHash.
+	if rc.Journal != nil {
+		actx = obs.WithScope(actx, obs.Scope{
+			Journal: rc.Journal, Job: job.ID, Name: job.Scenario.Name,
+		})
+	}
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		obs.CampaignJobPanics.Inc()
+		rc.Journal.Emit(obs.Event{Kind: obs.EvJobPanic, Job: job.ID, Name: job.Scenario.Name,
+			Data: map[string]any{
+				"attempt": attempt,
+				"panic":   fmt.Sprint(p),
+				"stack":   string(debug.Stack()),
+			}})
+		jr = JobResult{
+			Expected:  job.Scenario.Expected,
+			Explorer:  job.Scenario.Explorer,
+			Error:     fmt.Sprintf("panic: %v", p),
+			Retryable: true,
+		}
+	}()
+	jr = rc.Runner(actx, job)
+	if jr.Error == "" {
+		return jr
+	}
+	// A dead attempt deadline while the campaign context is still live
+	// is a per-job timeout: its own error class, transient by
+	// definition. A plain campaign cancellation stays non-retryable (the
+	// scheduler already drops those results so resume re-runs the job).
+	if rc.JobTimeout > 0 && actx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+		obs.CampaignJobTimeouts.Inc()
+		jr.Error = fmt.Sprintf("job timeout (%s): %s", rc.JobTimeout, jr.Error)
+		jr.Retryable = true
+		return jr
+	}
+	jr.Retryable = retryableError(jr.Error)
+	return jr
+}
+
+// retryableError classifies a job error as transient. The supervisor
+// prefixes panics and timeouts itself; the rest is a substring taxonomy
+// of I/O failures (runners surface errors as strings, so classification
+// is textual by construction). Everything unrecognized — bad configs,
+// unknown explorers, validation errors — is fatal: retrying those burns
+// the budget to reach the same deterministic failure.
+func retryableError(msg string) bool {
+	if strings.HasPrefix(msg, "panic: ") || strings.HasPrefix(msg, "job timeout ") {
+		return true
+	}
+	for _, transient := range []string{
+		"injected fault",
+		"input/output error",
+		"i/o timeout",
+		"file already closed",
+		"broken pipe",
+		"no space left on device",
+		"resource temporarily unavailable",
+		"connection reset",
+	} {
+		if strings.Contains(msg, transient) {
+			return true
+		}
+	}
+	return false
+}
+
+// retryBackoff is the delay before the retry that follows attempt:
+// BaseBackoff doubled per prior attempt, capped at 30s, with ±25%
+// jitter drawn from an fnv64a of the job ID and attempt number —
+// deterministic, so a replayed campaign sleeps the same schedule.
+func retryBackoff(p RetryPolicy, jobID string, attempt int) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base << (attempt - 1)
+	if d > 30*time.Second || d < base {
+		d = 30 * time.Second
+	}
+	h := fnv.New64a()
+	h.Write([]byte(jobID))
+	h.Write([]byte{byte(attempt)})
+	frac := time.Duration(h.Sum64() % 1000)
+	return d*3/4 + d*frac/2000
+}
+
+// appendWithRetry retries transient checkpoint-append failures under
+// the campaign's retry policy. The writer rolls back partial lines, so
+// a retried append never turns a failure into mid-file corruption. It
+// runs under the scheduler lock: the backoff stalls completions, which
+// is the right trade against aborting the whole campaign.
+func appendWithRetry(ctx context.Context, w *checkpointWriter, p RetryPolicy, jr JobResult) error {
+	budget := p.MaxAttempts
+	if budget < 1 {
+		budget = 1
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = w.Append(jr); err == nil {
+			return nil
+		}
+		if attempt >= budget || !retryableError(err.Error()) || ctx.Err() != nil {
+			return err
+		}
+		obs.CampaignCheckpointRetries.Inc()
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(retryBackoff(p, jr.JobID, attempt)):
+		}
+	}
+}
+
 // jobDoneEvent shapes one finished job as a journal event.
 func jobDoneEvent(jr *JobResult, novel bool, catalogLen int) obs.Event {
 	data := map[string]any{
@@ -433,6 +645,12 @@ func jobDoneEvent(jr *JobResult, novel bool, catalogLen int) obs.Event {
 	}
 	if jr.Error != "" {
 		data["error"] = jr.Error
+	}
+	if jr.Attempts > 1 {
+		data["attempts"] = jr.Attempts
+	}
+	if jr.Retryable {
+		data["retryable"] = true
 	}
 	return obs.Event{Kind: obs.EvJobDone, Job: jr.JobID, Name: jr.Name,
 		DurMS: float64(jr.DurationMS), Data: data}
@@ -481,6 +699,11 @@ func NewExplorerRunner(opts RunnerOptions) Runner {
 		opts.Scale = 1
 	}
 	return func(ctx context.Context, job Job) JobResult {
+		// Fault sites for the supervisor tests: a poisoned job (panic)
+		// and a hung job (blocks until the per-job deadline or the
+		// campaign cancellation fires). Free when disarmed.
+		faults.PanicAt("runner.panic")
+		faults.HangAt(ctx, "runner.hang")
 		if err := ctx.Err(); err != nil {
 			return JobResult{Error: err.Error()}
 		}
@@ -531,13 +754,20 @@ func NewExplorerRunner(opts RunnerOptions) Runner {
 		// on a nondeterministic target) is also skipped — the job result
 		// stands, there is just nothing deterministic to store. Store
 		// failures (including I/O) leave ArtifactID empty without
-		// erasing the successful result: an errored job would never be
-		// retried on resume and would needlessly escalate in staged runs.
+		// erasing the successful result — an errored job would
+		// needlessly escalate in staged runs — but they are never
+		// silent: each drop bumps campaign.artifact_put_failures_total
+		// and journals a warning so degraded persistence shows up in
+		// `autocat stats`.
 		if opts.Artifacts != nil && res.Replay != nil && sc.Detector == DetectorNone {
 			if art, err := artifactFromResult(job, res); err == nil {
 				art.ParamsHash = backend.ParamsHash()
 				if stored, _, err := opts.Artifacts.Put(art); err == nil {
 					jr.ArtifactID = stored.ID
+				} else {
+					obs.CampaignArtifactPutFailures.Inc()
+					obs.ScopeFrom(ctx).Emit(obs.Event{Kind: obs.EvArtifactDrop,
+						Data: map[string]any{"error": err.Error()}})
 				}
 			}
 		}
@@ -641,6 +871,9 @@ func WriterProgress(w io.Writer) func(Progress) {
 		}
 		if r.Error != "" {
 			status = "error: " + r.Error
+		}
+		if r.Attempts > 1 {
+			status += fmt.Sprintf(" [retry %d/%d]", r.Attempts, max(p.MaxAttempts, r.Attempts))
 		}
 		pace := ""
 		if p.JobsPerSec > 0 {

@@ -165,8 +165,16 @@ func (ex *PPOExplorer) Run() *Result { return ex.RunContext(context.Background()
 // RunContext is Run with cooperative cancellation: training checks the
 // context between epochs, and a cancelled run still evaluates and
 // classifies whatever policy it has (so partial results stay usable).
+// An expired deadline is the exception: it means a supervisor bounded
+// this job's wall clock, so the post-training passes (greedy eval,
+// attack extraction, replay serialization) are skipped and the run
+// returns promptly — a timed-out job must not keep computing past its
+// budget.
 func (ex *PPOExplorer) RunContext(ctx context.Context) *Result {
 	res := &Result{Train: ex.trainer.TrainContext(ctx), Kind: ExplorerPPO}
+	if ctx.Err() == context.DeadlineExceeded {
+		return res
+	}
 	e := ex.envs[0]
 	res.Eval = rl.Evaluate(ex.net, e, ex.cfg.EvalEpisodes)
 	res.Attack, res.AttackOK = rl.ExtractAttack(ex.net, e, 64)

@@ -1,0 +1,219 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	in := "checkpoint.write:nth=7;runner.panic:nth=3,limit=1;artifact.put:p=0.25"
+	p, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Sites) != 3 {
+		t.Fatalf("parsed %d sites, want 3", len(p.Sites))
+	}
+	if p.Sites[0] != (SitePlan{Site: "checkpoint.write", Nth: 7}) {
+		t.Errorf("site 0 = %+v", p.Sites[0])
+	}
+	if p.Sites[1] != (SitePlan{Site: "runner.panic", Nth: 3, Limit: 1}) {
+		t.Errorf("site 1 = %+v", p.Sites[1])
+	}
+	if p.Sites[2] != (SitePlan{Site: "artifact.put", P: 0.25}) {
+		t.Errorf("site 2 = %+v", p.Sites[2])
+	}
+	if got := p.String(); got != in {
+		t.Errorf("String() = %q, want %q", got, in)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"nocolon",
+		"site:",
+		"site:nth=x",
+		"site:wat=3",
+		":nth=3",
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+	// Empty and separator-only strings are valid empty plans.
+	for _, s := range []string{"", " ", ";;"} {
+		if p, err := Parse(s); err != nil || len(p.Sites) != 0 {
+			t.Errorf("Parse(%q) = %+v, %v; want empty plan", s, p, err)
+		}
+	}
+}
+
+func TestNthFiresExactlyOnce(t *testing.T) {
+	defer Disarm()
+	if err := ArmString("s:nth=3"); err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 1; i <= 10; i++ {
+		if Hit("s") {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Fatalf("nth=3 fired on calls %v, want [3]", fired)
+	}
+	if Calls("s") != 10 || Fires("s") != 1 {
+		t.Errorf("calls=%d fires=%d, want 10/1", Calls("s"), Fires("s"))
+	}
+}
+
+func TestEveryWithLimit(t *testing.T) {
+	defer Disarm()
+	if err := ArmString("s:every=2,limit=3"); err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if Hit("s") {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{2, 4, 6}
+	if len(fired) != len(want) {
+		t.Fatalf("every=2,limit=3 fired on %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("every=2,limit=3 fired on %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestProbabilityIsDeterministic(t *testing.T) {
+	defer Disarm()
+	run := func() []bool {
+		if err := Arm(Plan{Seed: 42, Sites: []SitePlan{{Site: "s", P: 0.5}}}); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Hit("s")
+		}
+		return out
+	}
+	a, b := run(), run()
+	some := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d differs across identical armings", i)
+		}
+		if a[i] {
+			some = true
+		}
+	}
+	if !some {
+		t.Error("p=0.5 never fired in 64 calls")
+	}
+}
+
+func TestErrorAtWrapsSentinel(t *testing.T) {
+	defer Disarm()
+	if err := ArmString("s:nth=1"); err != nil {
+		t.Fatal(err)
+	}
+	err := ErrorAt("s")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("ErrorAt = %v, want ErrInjected", err)
+	}
+	if err := ErrorAt("s"); err != nil {
+		t.Fatalf("second call fired: %v", err)
+	}
+	if err := ErrorAt("unarmed"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+}
+
+func TestPanicAt(t *testing.T) {
+	defer Disarm()
+	if err := ArmString("s:nth=1"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PanicAt did not panic")
+		}
+	}()
+	PanicAt("s")
+}
+
+func TestHangAtUnblocksOnContext(t *testing.T) {
+	defer Disarm()
+	if err := ArmString("s:nth=1"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	HangAt(ctx, "s") // would deadlock if the ctx were ignored
+	HangAt(ctx, "s") // disarmed after nth=1: returns immediately
+}
+
+func TestArmFromEnv(t *testing.T) {
+	defer Disarm()
+	t.Setenv(EnvVar, "s:nth=1")
+	plan, err := ArmFromEnv()
+	if err != nil || plan != "s:nth=1" {
+		t.Fatalf("ArmFromEnv = %q, %v", plan, err)
+	}
+	if !Armed() || len(Sites()) != 1 || Sites()[0] != "s" {
+		t.Fatalf("armed=%v sites=%v", Armed(), Sites())
+	}
+	if !Hit("s") || TotalFires() != 1 {
+		t.Error("armed site did not fire")
+	}
+
+	t.Setenv(EnvVar, "")
+	Disarm()
+	if plan, err := ArmFromEnv(); err != nil || plan != "" || Armed() {
+		t.Fatalf("empty env armed: %q, %v, armed=%v", plan, err, Armed())
+	}
+
+	t.Setenv(EnvVar, "garbage")
+	if _, err := ArmFromEnv(); err == nil {
+		t.Error("bad plan accepted from env")
+	}
+}
+
+// TestDisarmedZeroAlloc is the hot-path contract: with no plan armed,
+// site checks must not allocate (they sit on the checkpoint append and
+// journal emit paths, and next to the 0-alloc step loop).
+func TestDisarmedZeroAlloc(t *testing.T) {
+	Disarm()
+	if n := testing.AllocsPerRun(1000, func() {
+		if Hit("checkpoint.write") {
+			t.Fatal("disarmed site fired")
+		}
+		if err := ErrorAt("artifact.put"); err != nil {
+			t.Fatal(err)
+		}
+		PanicAt("runner.panic")
+	}); n != 0 {
+		t.Errorf("disarmed site checks allocate %.1f/op, want 0", n)
+	}
+}
+
+// Armed-but-other-site checks must also stay allocation-free: arming a
+// checkpoint fault must not slow the step loop's sites.
+func TestArmedUnmatchedSiteZeroAlloc(t *testing.T) {
+	defer Disarm()
+	if err := ArmString("other.site:nth=1000000"); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if Hit("checkpoint.write") {
+			t.Fatal("unarmed site fired")
+		}
+	}); n != 0 {
+		t.Errorf("unmatched site check allocates %.1f/op, want 0", n)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"autocat/internal/faults"
 )
 
 // Event is one journal record. Data carries kind-specific payloads
@@ -31,6 +33,9 @@ const (
 	EvEscalate      = "campaign.escalate"
 	EvJobStart      = "job.start"
 	EvJobDone       = "job.done"
+	EvJobPanic      = "job.panic"
+	EvJobRetry      = "job.retry"
+	EvArtifactDrop  = "artifact.drop"
 	EvFirstReliable = "job.first_reliable"
 	EvPPOEpoch      = "ppo.epoch"
 	EvSpan          = "span"
@@ -94,7 +99,10 @@ func (j *Journal) Emit(ev Event) {
 	}
 	line = append(line, '\n')
 	j.mu.Lock()
-	_, werr := j.f.Write(line)
+	werr := faults.ErrorAt("journal.write")
+	if werr == nil {
+		_, werr = j.f.Write(line)
+	}
 	if werr != nil {
 		j.err = true
 	}

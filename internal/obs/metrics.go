@@ -51,6 +51,13 @@ var (
 	CatalogNovel          = NewCounter("catalog.novel_total")
 	CatalogRediscoveries  = NewCounter("catalog.rediscoveries_total")
 
+	// Fault tolerance (internal/campaign supervised workers).
+	CampaignJobPanics           = NewCounter("campaign.job_panics_total")
+	CampaignJobRetries          = NewCounter("campaign.job_retries_total")
+	CampaignJobTimeouts         = NewCounter("campaign.job_timeouts_total")
+	CampaignArtifactPutFailures = NewCounter("campaign.artifact_put_failures_total")
+	CampaignCheckpointRetries   = NewCounter("campaign.checkpoint_retries_total")
+
 	// Journal health.
 	JournalEvents = NewCounter("journal.events_total")
 	JournalErrors = NewCounter("journal.errors_total")

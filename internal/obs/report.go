@@ -23,6 +23,16 @@ type RunReport struct {
 	Attacks int
 	Novel   int
 
+	// Fault-tolerance digest: Attempts counts every runner invocation
+	// (completed jobs plus their retried attempts), Retries the re-runs
+	// after transient failures, Panics the recovered worker panics, and
+	// ArtifactDrops the artifact-store writes that failed without
+	// erasing the job result.
+	Attempts      int
+	Retries       int
+	Panics        int
+	ArtifactDrops int
+
 	PPOJobs   int
 	PPOEpochs int
 
@@ -121,6 +131,19 @@ func BuildRunReport(events []Event, normalize func(string) string) *RunReport {
 			if dataBool(ev.Data, "novel") {
 				r.Novel++
 			}
+			// "attempts" is journaled only when a job needed more than
+			// one; a missing field means the single attempt succeeded.
+			if a := int(dataNum(ev.Data, "attempts")); a > 1 {
+				r.Attempts += a
+			} else {
+				r.Attempts++
+			}
+		case EvJobRetry:
+			r.Retries++
+		case EvJobPanic:
+			r.Panics++
+		case EvArtifactDrop:
+			r.ArtifactDrops++
 		case EvPPOEpoch:
 			r.PPOEpochs++
 			if ev.Job != "" {
@@ -207,6 +230,10 @@ func (r *RunReport) Format(w io.Writer) {
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "jobs: %d done, %d failed, %d reliable attacks\n", r.Jobs, r.Failed, r.Attacks)
+	fmt.Fprintf(w, "attempts: %d, retries: %d, panics: %d\n", r.Attempts, r.Retries, r.Panics)
+	if r.ArtifactDrops > 0 {
+		fmt.Fprintf(w, "artifact store: %d dropped writes (results kept, artifacts lost)\n", r.ArtifactDrops)
+	}
 	if r.Attacks > 0 {
 		redisc := r.Attacks - r.Novel
 		fmt.Fprintf(w, "catalog: %d novel, %d rediscovered (dedup rate %.1f%%)\n",
