@@ -42,6 +42,7 @@ import (
 	"autocat/internal/obs"
 	"autocat/internal/rl"
 	"autocat/internal/search"
+	"autocat/internal/serve"
 	"autocat/internal/svm"
 	"autocat/internal/trace"
 )
@@ -413,8 +414,13 @@ type (
 	CampaignProgress = campaign.Progress
 	// Catalog is the sharded, deduplicating attack store.
 	Catalog = campaign.Catalog
+	// CatalogOptions bounds a catalog's memory (entry capacity with LRU
+	// eviction, sliding per-entry TTL); the zero value is unbounded.
+	CatalogOptions = campaign.CatalogOptions
 	// CatalogEntry is one deduplicated attack with aggregate stats.
 	CatalogEntry = campaign.Entry
+	// CatalogShardStats is one catalog stripe's dedup statistics.
+	CatalogShardStats = campaign.ShardStats
 	// CampaignRunnerOptions configures the explorer runner (scale,
 	// artifact store, cheap-backend budgets).
 	CampaignRunnerOptions = campaign.RunnerOptions
@@ -467,8 +473,31 @@ func RunCampaign(ctx context.Context, spec CampaignSpec, rc CampaignRunConfig) (
 	return campaign.Run(ctx, spec, rc)
 }
 
-// NewCatalog returns an empty attack catalog.
+// NewCatalog returns an empty, unbounded attack catalog.
 func NewCatalog() *Catalog { return campaign.NewCatalog() }
+
+// NewCatalogWith returns an empty attack catalog with the given memory
+// bounds.
+func NewCatalogWith(opts CatalogOptions) *Catalog { return campaign.NewCatalogWith(opts) }
+
+// Campaign service: campaign execution behind a long-running HTTP
+// front-end (see internal/serve and cmd/autocat-serve).
+type (
+	// ServeConfig parameterizes the campaign service: concurrent
+	// campaign cap, shared-catalog bounds, and the cross-tenant dedup
+	// memo size.
+	ServeConfig = serve.Config
+	// CampaignServer multiplexes tenant campaigns over one process,
+	// streaming job results and novel-attack events per request.
+	CampaignServer = serve.Server
+	// ServeEvent is one line of a campaign's result stream.
+	ServeEvent = serve.Event
+)
+
+// NewCampaignServer builds the campaign service with its shared bounded
+// catalog and singleflight dedup layer; mount Handler() on an
+// http.Server.
+func NewCampaignServer(cfg ServeConfig) *CampaignServer { return serve.New(cfg) }
 
 // CanonicalizeAttack renders an attack sequence in the
 // configuration-independent normal form the catalog deduplicates on.

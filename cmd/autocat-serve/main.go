@@ -1,0 +1,89 @@
+// Command autocat-serve runs the campaign service: a long-lived HTTP
+// process that accepts campaign specs over POST and streams job results
+// and novel-attack events back while the campaign runs. Concurrent
+// campaigns share the process's compute-token pool (fair-share CPU),
+// one bounded-memory attack catalog (cross-tenant dedup of discovered
+// attacks), and a singleflight layer that collapses identical jobs
+// submitted by different tenants into one execution.
+//
+// Endpoints:
+//
+//	POST /v1/campaigns   submit a campaign.Spec as JSON; the response
+//	                     streams NDJSON events (SSE with
+//	                     Accept: text/event-stream) until completion
+//	GET  /v1/catalog     shared-catalog snapshot (?limit=N)
+//	GET  /v1/status      active campaigns and catalog size
+//	GET  /metrics        JSON metrics snapshot
+//	GET  /healthz        liveness probe
+//
+// Example:
+//
+//	autocat-serve -addr :8344 -catalog-capacity 100000 -catalog-ttl 24h
+//	curl -N -d @spec.json localhost:8344/v1/campaigns
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"autocat"
+)
+
+func main() {
+	fs := flag.NewFlagSet("autocat-serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8344", "listen address")
+	maxCampaigns := fs.Int("max-campaigns", 4, "concurrent campaign cap; excess submissions get 503")
+	workers := fs.Int("workers", 0, "worker-pool size per campaign (0 = NumCPU; CPU use is bounded by the shared compute-token pool regardless)")
+	scale := fs.Float64("scale", 1, "epoch budget multiplier")
+	capacity := fs.Int("catalog-capacity", 0, "shared catalog entry bound; full shards evict least-recently-recorded attacks (0 = unbounded)")
+	ttl := fs.Duration("catalog-ttl", 0, "sliding per-entry catalog lifetime (0 disables expiry)")
+	resultCache := fs.Int("result-cache", 0, "completed-job memo size for cross-tenant dedup (0 = 4096)")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job deadline (0 disables)")
+	retries := fs.Int("retries", 1, "max attempts per job; transient failures retry with backoff")
+	fs.Parse(os.Args[1:])
+
+	srv := autocat.NewCampaignServer(autocat.ServeConfig{
+		MaxCampaigns: *maxCampaigns,
+		Workers:      *workers,
+		Scale:        *scale,
+		Catalog:      autocat.CatalogOptions{Capacity: *capacity, TTL: *ttl},
+		ResultCache:  *resultCache,
+		JobTimeout:   *jobTimeout,
+		Retry:        autocat.CampaignRetryPolicy{MaxAttempts: *retries},
+	})
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autocat-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("autocat-serve listening on http://%s (max %d campaigns, catalog capacity %d, ttl %s)\n",
+		ln.Addr(), *maxCampaigns, *capacity, *ttl)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("autocat-serve: %s, draining (in-flight campaigns get 30s)\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			hs.Close()
+		}
+	case err := <-errCh:
+		if err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "autocat-serve:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -106,9 +106,9 @@ func TestRecordBytesMatchesRecord(t *testing.T) {
 	allocs := testing.AllocsPerRun(100, func() {
 		c.RecordBytes(key, "s", "c", "j", 1)
 	})
-	// Each rediscovery appends the job name to the entry's Jobs slice;
-	// amortized growth is the only allowed allocation source.
-	if allocs > 1 {
-		t.Fatalf("RecordBytes rediscovery allocates %.1f per call", allocs)
+	// The slot's jobs ring is a fixed array and the recency ring is
+	// index-linked, so a rediscovery must not allocate at all.
+	if allocs != 0 {
+		t.Fatalf("RecordBytes rediscovery allocates %.1f per call, want 0", allocs)
 	}
 }

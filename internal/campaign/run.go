@@ -74,6 +74,10 @@ type Progress struct {
 	// Result is the job that just finished; nil for the initial
 	// resume-summary event.
 	Result *JobResult
+	// Novel reports whether the job's attack was new to the catalog
+	// (false for jobs without attacks). With a shared RunConfig.Catalog
+	// this is cross-campaign novelty.
+	Novel bool
 	// CatalogSize is the current number of distinct attacks.
 	CatalogSize int
 	// Elapsed is the wall-clock time since the campaign started.
@@ -161,6 +165,12 @@ type RunConfig struct {
 	// back into the pending set on resume, for operators who fixed the
 	// underlying cause out of band.
 	RetryFailed bool
+	// Catalog, when non-nil, records discovered attacks into this
+	// catalog instead of a fresh unbounded one — the campaign service
+	// passes a shared, bounded store here so many tenants dedup into
+	// one bounded-memory catalog. Result.Catalog is then this catalog,
+	// and progress CatalogSize/Novel reflect its (global) state.
+	Catalog *Catalog
 }
 
 // Result is a completed (or interrupted) campaign.
@@ -211,7 +221,10 @@ func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
 	res := &Result{
 		Spec:    spec.Name,
 		Jobs:    make([]JobResult, len(jobs)),
-		Catalog: NewCatalog(),
+		Catalog: rc.Catalog,
+	}
+	if res.Catalog == nil {
+		res.Catalog = NewCatalog()
 	}
 	start := time.Now()
 
@@ -305,7 +318,7 @@ func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
 			}
 		}()
 	}
-	emit := func(jr *JobResult) {
+	emit := func(jr *JobResult, novel bool) {
 		if progCh == nil {
 			return
 		}
@@ -314,6 +327,7 @@ func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
 			Total:       len(jobs),
 			Resumed:     res.Resumed,
 			Result:      jr,
+			Novel:       novel,
 			CatalogSize: res.Catalog.Len(),
 			Elapsed:     time.Since(start),
 			MaxAttempts: rc.Retry.MaxAttempts,
@@ -330,7 +344,7 @@ func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
 			obs.CampaignProgressDrops.Inc()
 		}
 	}
-	emit(nil)
+	emit(nil, false)
 
 	// A dead checkpoint means resume would silently repeat work: treat
 	// a write failure like a cancellation — stop dispatching, finish
@@ -420,7 +434,7 @@ func Run(ctx context.Context, spec Spec, rc RunConfig) (*Result, error) {
 						abort()
 					}
 				}
-				emit(&res.Jobs[job.Index])
+				emit(&res.Jobs[job.Index], novel)
 				mu.Unlock()
 			}
 		}()

@@ -139,6 +139,42 @@ func TestTransmitRoundTripNoNoise(t *testing.T) {
 	}
 }
 
+// TestTransmitPartialTailSymbol is the regression test for the
+// trailing-partial-symbol decode bug: with nbits % symbolBits != 0 the
+// sender packs the leftover bits at the LSB of the final symbol, and
+// the receiver must unpack the same positions — the old MSB-down decode
+// read every tail bit from the wrong place, so any payload whose tail
+// bit was 1 misdecoded even on a noise-free channel.
+func TestTransmitPartialTailSymbol(t *testing.T) {
+	for _, nbits := range []int{3, 5, 7, 1023} {
+		ss, lru := mkChannels(t, 8, 2)
+		for _, ch := range []Channel{ss, lru} {
+			ch.Reset()
+			// All-ones payload: the tail bit is 1, the worst case for the
+			// old misaligned decode.
+			bits := make([]byte, nbits)
+			for i := range bits {
+				bits[i] = 1
+			}
+			tr := Transmit(ch, bits, DefaultTiming())
+			if tr.ErrorRate != 0 {
+				t.Fatalf("nbits=%d: noise-free partial-tail transmission error rate = %v, want 0",
+					nbits, tr.ErrorRate)
+			}
+			wantSyms := (nbits + 1) / 2
+			if tr.Symbols != wantSyms {
+				t.Fatalf("nbits=%d: %d symbols, want %d", nbits, tr.Symbols, wantSyms)
+			}
+			// And a random payload with nbits=3, symbolBits=2 — the issue's
+			// minimal reproducer shape.
+			ch.Reset()
+			if tr := Transmit(ch, RandomBits(nbits, int64(nbits)), DefaultTiming()); tr.ErrorRate != 0 {
+				t.Fatalf("nbits=%d: random payload error rate = %v, want 0", nbits, tr.ErrorRate)
+			}
+		}
+	}
+}
+
 func TestTableXShape(t *testing.T) {
 	// The headline Table X claims: StealthyStreamline beats the LRU
 	// address-based channel on every machine at <5% error, and the

@@ -80,8 +80,17 @@ func Transmit(ch Channel, bits []byte, t Timing) Transmission {
 	var tr Transmission
 	recv := make([]byte, 0, len(bits))
 	for i := 0; i < len(bits); i += k {
+		// m is this symbol's payload width: k, except for a trailing
+		// partial symbol when nbits is not a multiple of k. The sender
+		// packs the m bits at the LSB of sym, so the receiver must unpack
+		// the low m bits too — decoding all k MSB-down would read every
+		// tail bit from the wrong position.
+		m := k
+		if rem := len(bits) - i; rem < m {
+			m = rem
+		}
 		sym := 0
-		for j := 0; j < k && i+j < len(bits); j++ {
+		for j := 0; j < m; j++ {
 			sym = sym<<1 | int(bits[i+j])
 		}
 		r := ch.Round(sym)
@@ -92,10 +101,8 @@ func Transmit(ch Channel, bits []byte, t Timing) Transmission {
 		if r.VictimMiss {
 			tr.VictimMisses++
 		}
-		for j := k - 1; j >= 0; j-- {
-			if len(recv) < len(bits) {
-				recv = append(recv, byte(r.Decoded>>j)&1)
-			}
+		for j := m - 1; j >= 0; j-- {
+			recv = append(recv, byte(r.Decoded>>j)&1)
 		}
 	}
 	tr.Bits = len(bits)

@@ -95,11 +95,22 @@ func (d *Cyclone) Reset() {
 	d.online = false
 }
 
+// interval returns the classification period, defaulting a zero or
+// negative Interval (a struct-literal Cyclone that bypassed NewCyclone)
+// to the standard 40 instead of letting Record panic on a modulo by
+// zero.
+func (d *Cyclone) interval() int {
+	if d.Interval <= 0 {
+		return 40
+	}
+	return d.Interval
+}
+
 // Record feeds one access; completed intervals are classified immediately.
 func (d *Cyclone) Record(a Access) {
 	d.ext.observe(a.Set, a.Dom)
 	d.steps++
-	if d.steps%d.Interval == 0 {
+	if d.steps%d.interval() == 0 {
 		feat := d.ext.flush()
 		d.intervals++
 		if d.Model.Predict(feat) > 0 {
@@ -112,17 +123,14 @@ func (d *Cyclone) Record(a Access) {
 // Detected reports whether any completed interval has been flagged.
 func (d *Cyclone) Detected() bool { return d.online }
 
-// Finalize also classifies the trailing partial interval, so short
-// episodes still get screened.
+// Finalize delivers the episode verdict over the completed intervals.
+// The trailing partial interval is deliberately NOT classified:
+// TrainCyclone's feature extraction drops partial intervals (a
+// fixed-period hardware monitor never sees one), so classifying them at
+// inference time would feed the SVM under-filled vectors from a
+// distribution it was never trained on — train/inference skew that
+// shows up as spurious verdicts on short episodes.
 func (d *Cyclone) Finalize() Verdict {
-	if d.steps%d.Interval != 0 {
-		feat := d.ext.flush()
-		d.intervals++
-		if d.Model.Predict(feat) > 0 {
-			d.flagged++
-			d.online = true
-		}
-	}
 	v := Verdict{Detected: d.flagged > 0}
 	if d.intervals > 0 {
 		v.Penalty = float64(d.flagged) / float64(d.intervals)

@@ -207,23 +207,64 @@ func TestTrainCycloneValidation(t *testing.T) {
 	}
 }
 
-func TestCyclonePartialIntervalScreenedAtFinalize(t *testing.T) {
+// TestCyclonePartialIntervalNotClassified pins the train/inference
+// contract: TrainCyclone's feature extraction drops trailing partial
+// intervals, so Finalize must not classify them either — an SVM fed an
+// under-filled vector from a distribution it never saw at training time
+// is train/inference skew, not screening.
+func TestCyclonePartialIntervalNotClassified(t *testing.T) {
 	benign := trace.BenignSuite(8, trace.BenignConfig{Length: 400, AddrSpace: 16, Seed: 3})
 	attacks := [][]trace.Access{attackTrace(40), attackTrace(40)}
 	det, _, err := TrainCyclone(TrainCycloneConfig{NumSets: 4, Interval: 40, BenignTraces: benign, AttackTraces: attacks})
 	if err != nil {
 		t.Fatal(err)
 	}
+
+	// Shorter than one interval: no interval completes, so nothing is
+	// classified — exactly like the training extractor on the same trace.
 	det.Reset()
-	// Feed fewer accesses than one interval: Finalize must still classify.
 	for _, a := range attackTrace(3)[:30] {
 		det.Record(Access{Dom: a.Dom, Addr: a.Addr, Set: int(a.Addr) % 4})
 	}
 	v := det.Finalize()
-	if !v.Detected {
-		t.Log("partial-interval attack not flagged (acceptable: fewer cycles than a full interval)")
+	if v.Detected {
+		t.Fatal("trailing partial interval must not be classified (training drops partials)")
 	}
-	if v.Penalty < 0 || v.Penalty > 1 {
+	if v.Penalty != 0 {
+		t.Fatalf("no completed intervals ⇒ zero penalty, got %v", v.Penalty)
+	}
+
+	// One full interval plus a partial tail: exactly one classification,
+	// matching len(CycloneFeatures(...)) on the same access count.
+	det.Reset()
+	attack := attackTrace(10)
+	for _, a := range attack[:55] { // interval 40 ⇒ 1 full + 15 partial
+		det.Record(Access{Dom: a.Dom, Addr: a.Addr, Set: int(a.Addr) % 4})
+	}
+	det.Finalize()
+	if det.intervals != 1 {
+		t.Fatalf("55 accesses at interval 40 must classify exactly 1 interval, got %d", det.intervals)
+	}
+}
+
+// TestCycloneZeroIntervalGuard: a struct-literal Cyclone with
+// Interval == 0 must not panic with a modulo-by-zero in Record; it
+// falls back to the default period.
+func TestCycloneZeroIntervalGuard(t *testing.T) {
+	benign := trace.BenignSuite(8, trace.BenignConfig{Length: 400, AddrSpace: 16, Seed: 4})
+	attacks := [][]trace.Access{attackTrace(40), attackTrace(40)}
+	trained, _, err := TrainCyclone(TrainCycloneConfig{NumSets: 4, Interval: 40, BenignTraces: benign, AttackTraces: attacks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := &Cyclone{Model: trained.Model, ext: newCyclicExtractor(4)} // Interval deliberately zero
+	for _, a := range attackTrace(5) {                                // 5 rounds × 9 accesses = 45
+		det.Record(Access{Dom: a.Dom, Addr: a.Addr, Set: int(a.Addr) % 4})
+	}
+	if v := det.Finalize(); v.Penalty < 0 || v.Penalty > 1 {
 		t.Fatalf("penalty must be a fraction, got %v", v.Penalty)
+	}
+	if det.intervals != 1 {
+		t.Fatalf("default interval of 40 over 45 accesses must complete exactly 1 interval, got %d", det.intervals)
 	}
 }

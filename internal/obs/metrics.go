@@ -50,6 +50,14 @@ var (
 	CampaignProgressDrops = NewCounter("campaign.progress_dropped_total")
 	CatalogNovel          = NewCounter("catalog.novel_total")
 	CatalogRediscoveries  = NewCounter("catalog.rediscoveries_total")
+	CatalogEvictions      = NewCounter("catalog.evictions_total")
+
+	// Campaign service (internal/serve).
+	ServeCampaignsActive   = NewGauge("serve.campaigns_active")
+	ServeCampaigns         = NewCounter("serve.campaigns_total")
+	ServeCampaignsRejected = NewCounter("serve.campaigns_rejected_total")
+	ServeSingleflightHits  = NewCounter("serve.singleflight_hits_total")
+	ServeResultCacheHits   = NewCounter("serve.result_cache_hits_total")
 
 	// Fault tolerance (internal/campaign supervised workers).
 	CampaignJobPanics           = NewCounter("campaign.job_panics_total")

@@ -57,7 +57,7 @@ func Max(xs []float64) float64 {
 // Autocorrelation computes the lag-p autocorrelation coefficient Cp of the
 // event train xs using the CC-Hunter / ReplayConfusion estimator
 //
-//	Cp = n * Σ_{i=0}^{n-p} (Xi - X̄)(Xi+p - X̄)  /  ((n-p) * Σ_{i=0}^{n} (Xi - X̄)²)
+//	Cp = n * Σ_{i=0}^{n-p-1} (Xi - X̄)(Xi+p - X̄)  /  ((n-p) * Σ_{i=0}^{n-1} (Xi - X̄)²)
 //
 // A train with a strictly periodic structure yields Cp near 1 at the period.
 // The function returns 0 when the train is shorter than p+2 samples or has
@@ -131,10 +131,16 @@ func HammingDistance(a, b []byte) int {
 }
 
 // ErrorRate returns the Hamming distance between sent and received divided
-// by the number of transmitted bits.
+// by max(len(sent), len(recv)). Using the longer length as the denominator
+// keeps the rate in [0, 1] even when the receiver decoded spurious extra
+// bits (each of which already counts as an error in the distance).
 func ErrorRate(sent, recv []byte) float64 {
-	if len(sent) == 0 {
+	n := len(sent)
+	if len(recv) > n {
+		n = len(recv)
+	}
+	if n == 0 {
 		return 0
 	}
-	return float64(HammingDistance(sent, recv)) / float64(len(sent))
+	return float64(HammingDistance(sent, recv)) / float64(n)
 }
