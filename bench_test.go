@@ -164,6 +164,9 @@ func BenchmarkStepHotShaped(b *testing.B)       { bench.StepHotShaped(b) }
 func BenchmarkRolloutSteps(b *testing.B)        { bench.RolloutSteps(b) }
 func BenchmarkPPOEpoch(b *testing.B)            { bench.PPOEpoch(b) }
 func BenchmarkArtifactReplay(b *testing.B)      { bench.ArtifactReplay(b) }
+func BenchmarkSearchIncremental(b *testing.B)   { bench.SearchIncremental(b) }
+func BenchmarkSearchSeedScan(b *testing.B)      { bench.SearchSeedScan(b) }
+func BenchmarkSnapshotRestore(b *testing.B)     { bench.SnapshotRestore(b) }
 
 // Micro-benchmarks of the substrates.
 

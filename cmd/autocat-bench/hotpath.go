@@ -66,10 +66,21 @@ type hotpathStats struct {
 	ShapedStepNs     float64 `json:"shaped_step_ns,omitempty"`
 	ShapedStepAllocs float64 `json:"shaped_step_allocs_per_op,omitempty"`
 	RolloutStepsSec  float64 `json:"rollout_steps_per_sec,omitempty"`
-	PPOEpochStepsSec float64 `json:"ppo_epoch_steps_per_sec"`
-	CampaignJobsSec  float64 `json:"campaign_jobs_per_sec_4workers"`
-	ApplyNsPerSample float64 `json:"apply_batch_ns_per_sample"`
-	GradNsPerSample  float64 `json:"grad_batch_ns_per_sample,omitempty"`
+	// SearchCandsSec is the incremental exhaustive DFS's candidate
+	// throughput on the full length-8 sweep (internal/bench.SearchIncremental);
+	// SearchScanCandsSec is the seed re-simulating scan on the identical
+	// sweep, kept as the reference the incremental speedup is measured
+	// against. SnapshotRestoreNs is one mid-episode env
+	// SnapshotInto+RestoreFrom round trip; its allocs are gated strictly
+	// (0 in steady state).
+	SearchCandsSec        float64 `json:"search_candidates_per_sec,omitempty"`
+	SearchScanCandsSec    float64 `json:"search_scan_candidates_per_sec,omitempty"`
+	SnapshotRestoreNs     float64 `json:"snapshot_restore_ns,omitempty"`
+	SnapshotRestoreAllocs float64 `json:"snapshot_restore_allocs_per_op,omitempty"`
+	PPOEpochStepsSec      float64 `json:"ppo_epoch_steps_per_sec"`
+	CampaignJobsSec       float64 `json:"campaign_jobs_per_sec_4workers"`
+	ApplyNsPerSample      float64 `json:"apply_batch_ns_per_sample"`
+	GradNsPerSample       float64 `json:"grad_batch_ns_per_sample,omitempty"`
 	// ArtifactReplayNs is one stored artifact replayed through a fresh
 	// environment (env construction + 64-episode deterministic eval +
 	// attack extraction) — the `autocat replay` verification path.
@@ -121,6 +132,12 @@ func measureHotpath() hotpathStats {
 	shaped := testing.Benchmark(bench.StepHotShaped)
 	fmt.Println("measuring vectorized lockstep rollout ...")
 	roll := testing.Benchmark(bench.RolloutSteps)
+	fmt.Println("measuring incremental exhaustive search ...")
+	searchInc := testing.Benchmark(bench.SearchIncremental)
+	fmt.Println("measuring seed re-simulating search scan ...")
+	searchScan := testing.Benchmark(bench.SearchSeedScan)
+	fmt.Println("measuring env snapshot+restore round trip ...")
+	snapRT := testing.Benchmark(bench.SnapshotRestore)
 	fmt.Println("measuring full PPO epochs ...")
 	ppo := testing.Benchmark(bench.PPOEpoch)
 	fmt.Println("measuring batched MLP forward ...")
@@ -152,6 +169,10 @@ func measureHotpath() hotpathStats {
 		ShapedStepNs:           float64(shaped.NsPerOp()),
 		ShapedStepAllocs:       float64(shaped.AllocsPerOp()),
 		RolloutStepsSec:        roll.Extra["steps/s"],
+		SearchCandsSec:         searchInc.Extra["cands/s"],
+		SearchScanCandsSec:     searchScan.Extra["cands/s"],
+		SnapshotRestoreNs:      float64(snapRT.NsPerOp()),
+		SnapshotRestoreAllocs:  float64(snapRT.AllocsPerOp()),
 		PPOEpochStepsSec:       ppo.Extra["steps/s"],
 		CampaignJobsSec:        camp.Extra["jobs/s"],
 		ApplyNsPerSample:       float64(apply.NsPerOp()) / bench.ApplyBatchRows,
@@ -193,6 +214,12 @@ func runHotpath(path string) error {
 			"steps_per_sec":           round2(cur.StepsPerSec / hotpathBaseline.StepsPerSec),
 			"ppo_epoch_steps_per_sec": round2(cur.PPOEpochStepsSec / hotpathBaseline.PPOEpochStepsSec),
 			"campaign_jobs_per_sec":   round2(cur.CampaignJobsSec / hotpathBaseline.CampaignJobsSec),
+			"incremental_search_vs_seed_scan": round2(func() float64 {
+				if cur.SearchScanCandsSec == 0 {
+					return 0
+				}
+				return cur.SearchCandsSec / cur.SearchScanCandsSec
+			}()),
 		},
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -212,6 +239,10 @@ func runHotpath(path string) error {
 	fmt.Printf("shaped step:   %.1f ns/op, %.0f allocs/op (%+.1f%% vs unshaped)\n",
 		cur.ShapedStepNs, cur.ShapedStepAllocs, (cur.ShapedStepNs/cur.StepNsPerOp-1)*100)
 	fmt.Printf("rollout:       %.0f steps/s\n", cur.RolloutStepsSec)
+	fmt.Printf("search (incremental DFS): %.0f cands/s (%.1fx the seed scan's %.0f)\n",
+		cur.SearchCandsSec, cur.SearchCandsSec/cur.SearchScanCandsSec, cur.SearchScanCandsSec)
+	fmt.Printf("snapshot+restore: %.0f ns/op, %.0f allocs/op\n",
+		cur.SnapshotRestoreNs, cur.SnapshotRestoreAllocs)
 	fmt.Printf("ppo epoch:     %.0f steps/s (%.2fx baseline)\n",
 		cur.PPOEpochStepsSec, cur.PPOEpochStepsSec/hotpathBaseline.PPOEpochStepsSec)
 	fmt.Printf("apply batch:   %.0f ns/sample\n", cur.ApplyNsPerSample)
@@ -243,6 +274,9 @@ var hotpathMetrics = []hotpathMetric{
 	{"defended_step_ns", func(s *hotpathStats) float64 { return s.DefendedStepNs }, false},
 	{"shaped_step_ns", func(s *hotpathStats) float64 { return s.ShapedStepNs }, false},
 	{"rollout_steps_per_sec", func(s *hotpathStats) float64 { return s.RolloutStepsSec }, true},
+	{"search_candidates_per_sec", func(s *hotpathStats) float64 { return s.SearchCandsSec }, true},
+	{"search_scan_candidates_per_sec", func(s *hotpathStats) float64 { return s.SearchScanCandsSec }, true},
+	{"snapshot_restore_ns", func(s *hotpathStats) float64 { return s.SnapshotRestoreNs }, false},
 	{"ppo_epoch_steps_per_sec", func(s *hotpathStats) float64 { return s.PPOEpochStepsSec }, true},
 	{"campaign_jobs_per_sec_4workers", func(s *hotpathStats) float64 { return s.CampaignJobsSec }, true},
 	{"apply_batch_ns_per_sample", func(s *hotpathStats) float64 { return s.ApplyNsPerSample }, false},
@@ -302,6 +336,7 @@ func runCompare(path string, tolerance float64) error {
 		{"instrumented_step_allocs_per_op", ref.Current.InstrumentedStepAllocs, cur.InstrumentedStepAllocs},
 		{"defended_step_allocs_per_op", ref.Current.DefendedStepAllocs, cur.DefendedStepAllocs},
 		{"shaped_step_allocs_per_op", ref.Current.ShapedStepAllocs, cur.ShapedStepAllocs},
+		{"snapshot_restore_allocs_per_op", ref.Current.SnapshotRestoreAllocs, cur.SnapshotRestoreAllocs},
 	}
 	for _, g := range allocGates {
 		if g.now > g.was {

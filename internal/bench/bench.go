@@ -16,6 +16,7 @@ import (
 	"autocat/internal/nn"
 	"autocat/internal/obs"
 	"autocat/internal/rl"
+	"autocat/internal/search"
 )
 
 // HotEnvConfig is the 4-block flush+reload guessing game the step and
@@ -268,6 +269,154 @@ func CampaignJobs(b *testing.B, workers int) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// SearchEnvConfig is the environment of the search benchmarks: a 4-way
+// fully-associative cache where the two attacker lines can never fill
+// the set, so no prefix distinguishes the 0/E secret and both search
+// implementations sweep their entire candidate budget. The config is
+// replay-deterministic (LRU, no defense, no warm-up), so the
+// incremental trie walker is eligible.
+func SearchEnvConfig() env.Config {
+	return env.Config{
+		Cache:      cache.Config{NumBlocks: 4, NumWays: 4, Policy: cache.LRU},
+		AttackerLo: 1, AttackerHi: 2,
+		VictimLo: 0, VictimHi: 0,
+		VictimNoAccess: true,
+		WindowSize:     10,
+		Warmup:         -1,
+		Seed:           2,
+	}
+}
+
+// SearchBenchLength is the candidate sequence length of the search
+// benchmarks (the non-guess pool has 3 actions, so the full space is
+// 3^8 = 6561 candidates). The DFS advantage grows with length — the
+// scan replays the whole prefix per candidate while the walker pays
+// roughly one step per candidate — so the benchmarked length sits at
+// the deep end of the staged-escalation search budgets.
+const SearchBenchLength = 8
+
+// SearchBenchBudget covers the whole length-8 candidate space.
+const SearchBenchBudget = 6561
+
+// SearchIncremental measures the snapshot-based exhaustive DFS: one op
+// is a full 729-candidate enumeration, reported as "cands/s". The
+// search_candidates_per_sec metric in BENCH_hotpath.json tracks this.
+func SearchIncremental(b *testing.B) {
+	e := mustEnv(b, SearchEnvConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := search.ExhaustiveSearch(context.Background(), e, SearchBenchLength, SearchBenchBudget)
+		if res.Found || res.Sequences != SearchBenchBudget {
+			b.Fatalf("benchmark config must exhaust its budget, got %+v", res)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*SearchBenchBudget)/b.Elapsed().Seconds(), "cands/s")
+}
+
+// seedDistinguishes replicates the pre-incremental (seed) success
+// predicate verbatim: every secret replayed from Reset via the
+// observation-materializing Step, with per-call signature and map
+// allocations. Kept as the benchmark reference so the
+// incremental-vs-seed candidates/sec ratio in BENCH_hotpath.json
+// measures against the real prior implementation, not a
+// retroactively optimized one.
+func seedDistinguishes(e *env.Env, prefix []int) bool {
+	secrets := e.Secrets()
+	seen := map[string]bool{}
+	for _, s := range secrets {
+		e.Reset()
+		e.ForceSecret(s)
+		sig := make([]byte, 0, len(prefix))
+		for _, a := range prefix {
+			kind, _ := e.DecodeAction(a)
+			if kind == env.KindGuess || kind == env.KindGuessNone {
+				return false
+			}
+			_, _, done := e.Step(a)
+			tr := e.Trace()
+			last := tr[len(tr)-1]
+			switch {
+			case last.Kind != env.KindAccess:
+				sig = append(sig, 'n')
+			case last.Hit:
+				sig = append(sig, 'h')
+			default:
+				sig = append(sig, 'm')
+			}
+			if done {
+				return false
+			}
+		}
+		key := string(sig)
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+	}
+	return true
+}
+
+// SearchSeedScan is the pre-incremental reference: the same exhaustive
+// enumeration, but every candidate re-simulated from Reset through the
+// seed's Distinguishes — the implementation the incremental DFS
+// replaced. The incremental/scan cands/s ratio is the speedup the trie
+// walker buys.
+func SearchSeedScan(b *testing.B) {
+	e := mustEnv(b, SearchEnvConfig())
+	var pool []int
+	for a := 0; a < e.NumActions(); a++ {
+		kind, _ := e.DecodeAction(a)
+		if kind != env.KindGuess && kind != env.KindGuessNone {
+			pool = append(pool, a)
+		}
+	}
+	prefix := make([]int, SearchBenchLength)
+	idx := make([]int, SearchBenchLength)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range idx {
+			idx[j] = 0
+		}
+		for n := 0; n < SearchBenchBudget; n++ {
+			for j := range prefix {
+				prefix[j] = pool[idx[j]]
+			}
+			if seedDistinguishes(e, prefix) {
+				b.Fatal("benchmark config must have no distinguishing sequence")
+			}
+			for j := SearchBenchLength - 1; j >= 0; j-- {
+				idx[j]++
+				if idx[j] < len(pool) {
+					break
+				}
+				idx[j] = 0
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*SearchBenchBudget)/b.Elapsed().Seconds(), "cands/s")
+}
+
+// SnapshotRestore measures one env.SnapshotInto + RestoreFrom round
+// trip mid-episode. Steady state must be 0 allocs/op; the
+// snapshot_restore_ns metric in BENCH_hotpath.json tracks this.
+func SnapshotRestore(b *testing.B) {
+	e := mustEnv(b, SearchEnvConfig())
+	e.Reset()
+	for i := 0; i < 4; i++ {
+		e.StepLite(e.AccessAction(cache.Addr(1 + i%2)))
+	}
+	var snap env.Snapshot
+	e.SnapshotInto(&snap)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.SnapshotInto(&snap)
+		e.RestoreFrom(&snap)
+	}
 }
 
 // ArtifactReplay measures the artifact replay path: one stored

@@ -95,6 +95,9 @@ func (h *Hierarchy) Flush(a Addr) bool {
 // L1 returns core's private first-level cache.
 func (h *Hierarchy) L1(core int) *Cache { return h.l1[core] }
 
+// Cores returns the number of per-core L1 caches.
+func (h *Hierarchy) Cores() int { return len(h.l1) }
+
 // L2 returns the shared second-level cache.
 func (h *Hierarchy) L2() *Cache { return h.l2 }
 

@@ -26,6 +26,11 @@ type policyBank interface {
 	// State copies the raw policy metadata of one set (LRU ages, PLRU
 	// tree bits, RRPVs) for diagrams such as the paper's Figure 4(d).
 	State(set int) []int
+	// metaInts exposes the bank's flat mutable metadata array (LRU ages,
+	// PLRU bits, RRPVs) for snapshot/restore. Banks without metadata
+	// (random replacement) return nil. Callers copy; they never retain
+	// or resize the slice.
+	metaInts() []int
 }
 
 // newPolicyBank constructs the bank named by kind for nsets sets of the
@@ -273,3 +278,11 @@ func (p *randomBank) Victim(set int, eligible []bool) int {
 func (p *randomBank) Reset() {}
 
 func (p *randomBank) State(int) []int { return nil }
+
+// metaInts implementations back Cache.Snapshot/Restore: each returns the
+// bank's live flat metadata slice so a snapshot is one copy().
+
+func (p *lruBank) metaInts() []int    { return p.ages }
+func (p *plruBank) metaInts() []int   { return p.bits }
+func (p *rripBank) metaInts() []int   { return p.rrpv }
+func (p *randomBank) metaInts() []int { return nil }

@@ -1,0 +1,136 @@
+package cache
+
+import "autocat/internal/rngstate"
+
+// Snapshot is a caller-owned capture of every piece of Cache state that
+// can change between Reset and the end of an episode: the flat line
+// array, replacement-policy metadata, prefetcher training state, the
+// CEASER permutation tables + key epoch + rekey counter, the RNG streams
+// that Access can consume mid-episode, and the telemetry accumulators
+// (flushed at Reset, so a restore must rewind them too).
+//
+// Immutable-after-construction state (the RandomMapping permutation, the
+// skew permutation tables when rekeying is off, partition geometry,
+// scratch buffers) is deliberately excluded. RNG streams are captured
+// only when the configuration can draw from them mid-episode — random
+// replacement (c.rng), skew eviction (c.skewRng), CEASER rekeying
+// (mapper.rng + perm + epoch) — keeping the common LRU/no-defense
+// snapshot a pair of memcpys.
+//
+// Buffers grow on first use and are reused on every later Snapshot call,
+// so steady-state capture and restore are allocation-free.
+type Snapshot struct {
+	valid bool
+
+	lines  []line
+	policy []int
+	pf     pfSnap
+
+	rng        rngstate.State // random replacement stream
+	skewRng    rngstate.State // skew victim-way stream
+	mapperRng  rngstate.State // CEASER key schedule stream
+	perm       []int32        // CEASER permutation tables (rekeying only)
+	epoch      int
+	sinceRekey int
+
+	obsAccesses uint64
+	obsHits     uint64
+	obsFlushes  uint64
+	obsRekeys   uint64
+}
+
+// Valid reports whether s holds a captured state.
+func (s *Snapshot) Valid() bool { return s.valid }
+
+// Snapshot captures the cache's full mutable state into s, growing s's
+// buffers on first use and reusing them afterwards.
+func (c *Cache) Snapshot(s *Snapshot) {
+	if cap(s.lines) < len(c.lines) {
+		s.lines = make([]line, len(c.lines))
+	}
+	s.lines = s.lines[:len(c.lines)]
+	copy(s.lines, c.lines)
+
+	meta := c.policy.metaInts()
+	if cap(s.policy) < len(meta) {
+		s.policy = make([]int, len(meta))
+	}
+	s.policy = s.policy[:len(meta)]
+	copy(s.policy, meta)
+
+	c.prefetch.save(&s.pf)
+
+	if c.cfg.Policy == Random {
+		rngstate.Capture(&s.rng, c.rng)
+	}
+	if c.skewRng != nil {
+		rngstate.Capture(&s.skewRng, c.skewRng)
+	}
+	if c.mapper != nil && c.rekeyPeriod > 0 {
+		rngstate.Capture(&s.mapperRng, c.mapper.rng)
+		if cap(s.perm) < len(c.mapper.perm) {
+			s.perm = make([]int32, len(c.mapper.perm))
+		}
+		s.perm = s.perm[:len(c.mapper.perm)]
+		copy(s.perm, c.mapper.perm)
+		s.epoch = c.mapper.epoch
+	}
+	s.sinceRekey = c.sinceRekey
+
+	s.obsAccesses = c.obsAccesses
+	s.obsHits = c.obsHits
+	s.obsFlushes = c.obsFlushes
+	s.obsRekeys = c.obsRekeys
+
+	s.valid = true
+}
+
+// Restore rewinds the cache to a state previously captured from the same
+// cache (or one built from an identical Config). After Restore, the
+// cache's observable behaviour — hits, latencies, evictions, rekeys, RNG
+// draws — is bit-identical to what it was at capture time. It panics if
+// s was never captured or came from a differently-shaped cache.
+func (c *Cache) Restore(s *Snapshot) {
+	if !s.valid {
+		panic("cache: Restore of an empty Snapshot")
+	}
+	if len(s.lines) != len(c.lines) {
+		panic("cache: Restore snapshot shape mismatch")
+	}
+	copy(c.lines, s.lines)
+
+	meta := c.policy.metaInts()
+	if len(s.policy) != len(meta) {
+		panic("cache: Restore policy shape mismatch")
+	}
+	copy(meta, s.policy)
+
+	c.prefetch.load(&s.pf)
+
+	rngstate.Restore(&s.rng, c.rng)
+	if c.skewRng != nil {
+		rngstate.Restore(&s.skewRng, c.skewRng)
+	}
+	if c.mapper != nil && c.rekeyPeriod > 0 {
+		rngstate.Restore(&s.mapperRng, c.mapper.rng)
+		copy(c.mapper.perm, s.perm)
+		c.mapper.epoch = s.epoch
+	}
+	c.sinceRekey = s.sinceRekey
+
+	c.obsAccesses = s.obsAccesses
+	c.obsHits = s.obsHits
+	c.obsFlushes = s.obsFlushes
+	c.obsRekeys = s.obsRekeys
+}
+
+// ReplayDeterministic reports whether Reset fully re-arms the cache for a
+// bit-identical replay: true when no RNG stream survives Reset with
+// consumed state. Random replacement, skew eviction, and active CEASER
+// rekeying all advance streams that Reset deliberately preserves (see
+// Reset's contract), making episode outcomes history-dependent; search
+// strategies that reorder episode evaluation must fall back to
+// history-faithful scanning on such configs.
+func (c *Cache) ReplayDeterministic() bool {
+	return c.cfg.Policy != Random && c.defense != DefenseSkew && c.rekeyPeriod == 0
+}

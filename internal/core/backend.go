@@ -411,6 +411,12 @@ type SearchBackendOptions struct {
 	EvalEpisodes int
 }
 
+// maxSearchWorkers caps the compute tokens one search exploration takes:
+// beyond the per-first-action shard count of typical configs the extra
+// environments would idle, and campaign workers sharing the pool still
+// need tokens for their own jobs.
+const maxSearchWorkers = 8
+
 // SearchBackend is the cheap non-learning explorer: it searches for a
 // prefix whose hit/miss signature distinguishes every secret, converts
 // it into a signature→guess decision table, and evaluates that table
@@ -456,13 +462,32 @@ func (b *SearchBackend) Explore(ctx context.Context, cfg env.Config) (*Result, e
 		opts.Seed = cfg.Seed
 	}
 
+	// Shard the candidate space across the compute-token worker pool:
+	// the caller counts as one worker and each extra token adds an
+	// environment. Shard→subtree assignment inside the search is
+	// deterministic, so results are independent of how many tokens were
+	// free (the same invariance contract as the PPO kernels).
+	extra := 0
+	for extra < maxSearchWorkers-1 && nn.TryAcquireExtraToken() {
+		extra++
+	}
+	defer func() {
+		for ; extra > 0; extra-- {
+			nn.ReleaseComputeToken()
+		}
+	}()
+	factory := func() (*env.Env, error) { return env.New(scfg) }
+
 	total := &search.Result{}
 	for length := opts.MinLen; length <= opts.MaxLen; length++ {
 		var r search.Result
 		if opts.Exhaustive {
-			r = search.ExhaustiveSearch(ctx, e, length, opts.Budget)
+			r, err = search.ExhaustiveSearchN(ctx, factory, length, opts.Budget, 1+extra)
 		} else {
-			r = search.RandomSearch(ctx, e, length, opts.Budget, opts.Seed+int64(length))
+			r, err = search.RandomSearchN(ctx, factory, length, opts.Budget, opts.Seed+int64(length), 1+extra)
+		}
+		if err != nil {
+			return nil, err
 		}
 		total.Sequences += r.Sequences
 		total.Steps += r.Steps

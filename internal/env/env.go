@@ -67,6 +67,12 @@ type Env struct {
 	pfArena     []cache.Addr  // per-episode storage for TraceStep.Prefetched
 	lastVerdict detect.Verdict
 	hasVerdict  bool
+
+	// snapCaches memoizes the target's cache enumeration for
+	// SnapshotInto/RestoreFrom (see snapshot.go); nil until first use,
+	// empty-but-checked when the target is not snapshot-capable.
+	snapCaches  []*cache.Cache
+	snapChecked bool
 }
 
 // stepFeature is the per-step observation record before numeric encoding.
@@ -336,6 +342,17 @@ func (e *Env) Step(action int) (obs []float64, reward float64, done bool) {
 // caller owns it, so rollout actors can step with zero steady-state
 // allocations. Semantics otherwise match Step.
 func (e *Env) StepInto(action int, obs []float64) (reward float64, done bool) {
+	reward, done = e.StepLite(action)
+	e.ObsInto(obs)
+	return reward, done
+}
+
+// StepLite executes one action without materializing the observation.
+// State transitions, rewards, trace, and history are identical to
+// StepInto; only the W×F observation encode is skipped. Search loops use
+// it: they read the trace, not the observation, and the encode dominates
+// the per-step cost on wide windows.
+func (e *Env) StepLite(action int) (reward float64, done bool) {
 	if e.done {
 		panic("env: Step called on finished episode")
 	}
@@ -482,7 +499,6 @@ func (e *Env) StepInto(action int, obs []float64) (reward float64, done bool) {
 	}
 
 	e.trace = append(e.trace, step)
-	e.ObsInto(obs)
 	if e.done {
 		e.flushObs()
 	}

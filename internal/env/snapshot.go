@@ -1,0 +1,263 @@
+package env
+
+import (
+	"autocat/internal/cache"
+	"autocat/internal/detect"
+	"autocat/internal/rngstate"
+)
+
+// Snapshot is a caller-owned capture of an Env's full mid-episode state:
+// one cache.Snapshot per cache level in the target, the env's own RNG
+// stream (when the step path can consume it), the episode counters, the
+// attacker residency map, shaping classification counts, and the
+// history/trace/prefetch-arena contents.
+//
+// Contract: after RestoreFrom, the env's subsequent StepLite/StepInto
+// stream — rewards, done flags, trace records, observations — is
+// byte-identical to what it would have produced from the captured state.
+// The contract covers the remainder of the episode (and, in multi-secret
+// mode, subsequent secrets drawn within it); Reset() draws from the live
+// RNG stream wherever it currently is, exactly as it does without
+// snapshots (see cache.Cache.Reset's determinism contract).
+//
+// Buffers grow on first use and are reused afterwards, so steady-state
+// SnapshotInto/RestoreFrom are allocation-free.
+type Snapshot struct {
+	valid  bool
+	caches []cache.Snapshot
+
+	rng rngstate.State // captured only when EpisodeSteps > 0 (guess redraws the secret)
+
+	secret    cache.Addr
+	triggered bool
+	steps     int
+	done      bool
+	guesses   int
+	hits      int
+
+	known                             []bool
+	evalMode                          bool
+	epNoOps, epRedFlush, epWastedTrig int
+	epPenalized                       int
+
+	history []stepFeature
+	trace   []TraceStep
+	pfArena []cache.Addr
+
+	// lite marks a snapshot captured by SnapshotLiteInto: the
+	// history/trace/arena contents above are absent and only the lengths
+	// below are restored. See SnapshotLiteInto for the narrowed contract.
+	lite                        bool
+	histLen, traceLen, arenaLen int
+
+	lastVerdict detect.Verdict
+	hasVerdict  bool
+}
+
+// Valid reports whether s holds a captured state.
+func (s *Snapshot) Valid() bool { return s.valid }
+
+// targetCaches enumerates the simulated caches behind the env's target,
+// memoized for the env's lifetime. It returns nil for targets that are
+// not built from the in-repo simulator (e.g. black-box hardware models),
+// which SnapshotSupported reports as unsupported.
+func (e *Env) targetCaches() []*cache.Cache {
+	if !e.snapChecked {
+		e.snapChecked = true
+		switch t := e.target.(type) {
+		case simTarget:
+			e.snapCaches = []*cache.Cache{t.c}
+		case HierarchyTarget:
+			n := t.H.Cores()
+			e.snapCaches = make([]*cache.Cache, 0, n+1)
+			for core := 0; core < n; core++ {
+				e.snapCaches = append(e.snapCaches, t.H.L1(core))
+			}
+			e.snapCaches = append(e.snapCaches, t.H.L2())
+		}
+	}
+	return e.snapCaches
+}
+
+// SnapshotSupported reports whether this env can be snapshotted: the
+// target must be built from the in-repo cache simulator and no detector
+// may be attached (detector state is not captured).
+func (e *Env) SnapshotSupported() bool {
+	return e.cfg.Detector == nil && len(e.targetCaches()) > 0
+}
+
+// ReplayDeterministic reports whether episode outcomes on this env are a
+// pure function of (config, forced secret, action sequence) — i.e. no
+// RNG stream that survives Reset is consumed mid-episode. Search
+// strategies that reorder or skip episode evaluations relative to a
+// plain sequential scan may only do so when this holds.
+func (e *Env) ReplayDeterministic() bool {
+	for _, c := range e.targetCaches() {
+		if !c.ReplayDeterministic() {
+			return false
+		}
+	}
+	return true
+}
+
+// SnapshotInto captures the env's state into s. It panics if the env is
+// not snapshot-capable; gate on SnapshotSupported first.
+func (e *Env) SnapshotInto(s *Snapshot) {
+	e.snapshotCommon(s)
+	s.lite = false
+
+	if cap(s.history) < len(e.history) {
+		s.history = append(s.history[:cap(s.history)], make([]stepFeature, len(e.history)-cap(s.history))...)
+	}
+	s.history = s.history[:len(e.history)]
+	copy(s.history, e.history)
+
+	if cap(s.trace) < len(e.trace) {
+		s.trace = append(s.trace[:cap(s.trace)], make([]TraceStep, len(e.trace)-cap(s.trace))...)
+	}
+	s.trace = s.trace[:len(e.trace)]
+	copy(s.trace, e.trace)
+
+	if cap(s.pfArena) < len(e.pfArena) {
+		s.pfArena = append(s.pfArena[:cap(s.pfArena)], make([]cache.Addr, len(e.pfArena)-cap(s.pfArena))...)
+	}
+	s.pfArena = s.pfArena[:len(e.pfArena)]
+	copy(s.pfArena, e.pfArena)
+}
+
+// SnapshotLiteInto captures the env's state without the
+// history/trace/prefetch-arena contents — only their lengths. A lite
+// restore is valid solely for StepLite-driven flows that read nothing
+// but the trace entries appended after the restore: the step stream's
+// rewards, done flags, and newly appended trace records are
+// byte-identical to a full restore, but ObsInto output and trace entries
+// from before the capture point are unspecified. The incremental search
+// walker runs entirely inside this contract; everything else should use
+// SnapshotInto. Skipping the content copies removes the dominant
+// per-node cost of the search DFS (the buffers are O(window) with
+// pointer-bearing entries; the rest of the state is a few machine words
+// plus the cache lines).
+func (e *Env) SnapshotLiteInto(s *Snapshot) {
+	e.snapshotCommon(s)
+	s.lite = true
+	s.histLen = len(e.history)
+	s.traceLen = len(e.trace)
+	s.arenaLen = len(e.pfArena)
+}
+
+// snapshotCommon captures everything except the history/trace/arena
+// buffers.
+func (e *Env) snapshotCommon(s *Snapshot) {
+	caches := e.targetCaches()
+	if len(caches) == 0 || e.cfg.Detector != nil {
+		panic("env: SnapshotInto on a non-snapshottable env (foreign target or detector attached)")
+	}
+	if cap(s.caches) < len(caches) {
+		s.caches = make([]cache.Snapshot, len(caches))
+	}
+	s.caches = s.caches[:len(caches)]
+	for i, c := range caches {
+		c.Snapshot(&s.caches[i])
+	}
+
+	// The env's own stream is consumed mid-episode only by the
+	// multi-secret guess path (drawSecret after a guess); single-guess
+	// episodes never touch it between Reset and done.
+	if e.cfg.EpisodeSteps > 0 {
+		rngstate.Capture(&s.rng, e.rng)
+	}
+
+	s.secret = e.secret
+	s.triggered = e.triggered
+	s.steps = e.steps
+	s.done = e.done
+	s.guesses = e.guesses
+	s.hits = e.hits
+
+	if cap(s.known) < len(e.known) {
+		s.known = make([]bool, len(e.known))
+	}
+	s.known = s.known[:len(e.known)]
+	copy(s.known, e.known)
+	s.evalMode = e.evalMode
+	s.epNoOps, s.epRedFlush, s.epWastedTrig = e.epNoOps, e.epRedFlush, e.epWastedTrig
+	s.epPenalized = e.epPenalized
+
+	s.lastVerdict, s.hasVerdict = e.lastVerdict, e.hasVerdict
+	s.valid = true
+}
+
+// RestoreFrom rewinds the env to a previously captured state. The
+// snapshot must come from this env or one built from an identical
+// Config. Trace prefetch slices are re-aliased into the restored arena,
+// so the restored trace is self-consistent even if the arena's backing
+// array moved between capture and restore.
+func (e *Env) RestoreFrom(s *Snapshot) {
+	if !s.valid {
+		panic("env: RestoreFrom of an empty Snapshot")
+	}
+	caches := e.targetCaches()
+	if len(caches) != len(s.caches) {
+		panic("env: RestoreFrom snapshot shape mismatch")
+	}
+	for i, c := range caches {
+		c.Restore(&s.caches[i])
+	}
+
+	rngstate.Restore(&s.rng, e.rng)
+
+	e.secret = s.secret
+	e.triggered = s.triggered
+	e.steps = s.steps
+	e.done = s.done
+	e.guesses = s.guesses
+	e.hits = s.hits
+
+	copy(e.known, s.known)
+	e.evalMode = s.evalMode
+	e.epNoOps, e.epRedFlush, e.epWastedTrig = s.epNoOps, s.epRedFlush, s.epWastedTrig
+	e.epPenalized = s.epPenalized
+
+	if s.lite {
+		// Content-free restore: reslice the buffers to the captured
+		// lengths; entries between the current and restored length hold
+		// stale data, which lite-contract callers never read. Subsequent
+		// StepLite appends land at the right indices.
+		e.history = resliceTo(e.history, s.histLen)
+		e.trace = resliceTo(e.trace, s.traceLen)
+		e.pfArena = resliceTo(e.pfArena, s.arenaLen)
+		e.lastVerdict, e.hasVerdict = s.lastVerdict, s.hasVerdict
+		return
+	}
+
+	e.history = e.history[:0]
+	e.history = append(e.history, s.history...)
+
+	e.trace = e.trace[:0]
+	e.trace = append(e.trace, s.trace...)
+
+	e.pfArena = e.pfArena[:0]
+	e.pfArena = append(e.pfArena, s.pfArena...)
+
+	// Re-alias each trace step's Prefetched slice into the restored
+	// arena. The arena is appended to in strict step order, so a single
+	// cursor walk reconstructs every slice header.
+	cursor := 0
+	for i := range e.trace {
+		if n := len(e.trace[i].Prefetched); n > 0 {
+			e.trace[i].Prefetched = e.pfArena[cursor : cursor+n : cursor+n]
+			cursor += n
+		}
+	}
+
+	e.lastVerdict, e.hasVerdict = s.lastVerdict, s.hasVerdict
+}
+
+// resliceTo returns buf with length n, growing its capacity if needed.
+// Exposed entries beyond the previous length are stale, not zeroed.
+func resliceTo[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		buf = append(buf[:cap(buf)], make([]T, n-cap(buf))...)
+	}
+	return buf[:n]
+}

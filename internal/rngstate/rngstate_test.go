@@ -1,0 +1,56 @@
+package rngstate
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCaptureRestoreRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		r.Int63()
+	}
+	var s State
+	Capture(&s, r)
+	want := make([]int64, 50)
+	for i := range want {
+		want[i] = r.Int63()
+	}
+	// Perturb further, then rewind.
+	for i := 0; i < 33; i++ {
+		r.Intn(7)
+	}
+	Restore(&s, r)
+	for i := range want {
+		if got := r.Int63(); got != want[i] {
+			t.Fatalf("draw %d after restore = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestRestoreZeroStateIsNoOp(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a := r.Int63()
+	r2 := rand.New(rand.NewSource(7))
+	var s State
+	if s.Captured() {
+		t.Fatal("zero State should not report captured")
+	}
+	Restore(&s, r2)
+	if got := r2.Int63(); got != a {
+		t.Fatalf("no-op restore changed stream: got %d want %d", got, a)
+	}
+}
+
+func TestCaptureZeroAlloc(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var s State
+	Capture(&s, r) // warm the verify once
+	allocs := testing.AllocsPerRun(100, func() {
+		Capture(&s, r)
+		Restore(&s, r)
+	})
+	if allocs != 0 {
+		t.Fatalf("Capture+Restore allocated %v times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,366 @@
+package search
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"autocat/internal/env"
+)
+
+// EnvFactory builds one search environment per worker. Every env must be
+// built from the same configuration; results are undefined otherwise.
+type EnvFactory func() (*env.Env, error)
+
+// notFound marks a shard or batch that contained no distinguishing
+// candidate; bestF is initialized to it so atomic mins compose.
+const notFound = int64(seqCap)
+
+// shardOut is the per-shard (or per-batch) record the deterministic
+// reduction consumes. Aborted shards (cancelled because another shard
+// already found an earlier candidate) keep completed false and are
+// excluded from every total.
+type shardOut struct {
+	start     int
+	count     int // candidates covered when completed and not found
+	steps     int
+	found     int // global candidate index, -1 if none
+	attack    []int
+	completed bool
+}
+
+// reduce folds per-shard results into a Result, independent of the order
+// and interleaving the shards were processed in:
+//
+//   - Found is the minimum found index F across shards; Sequences = F+1.
+//   - Steps sums only shards whose range starts at or before F — exactly
+//     the shards a sequential in-order scan would have processed — so the
+//     step count is identical for every worker count. A shard can only
+//     abort when an earlier candidate was already found, so no shard that
+//     the formula counts is ever missing.
+//   - Without a find, Sequences and Steps sum every completed shard
+//     (shards are only left incomplete by context cancellation).
+func reduce(outs []shardOut) Result {
+	var res Result
+	best := -1
+	for i := range outs {
+		if outs[i].found >= 0 && (best < 0 || outs[i].found < outs[best].found) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		f := outs[best].found
+		res.Found = true
+		res.Attack = outs[best].attack
+		res.Sequences = f + 1
+		for i := range outs {
+			if outs[i].start <= f && (outs[i].completed || outs[i].found >= 0) {
+				res.Steps += outs[i].steps
+			}
+		}
+		return res
+	}
+	for i := range outs {
+		if outs[i].completed {
+			res.Sequences += outs[i].count
+			res.Steps += outs[i].steps
+		}
+	}
+	return res
+}
+
+// atomicMin lowers *v to x if x is smaller.
+func atomicMin(v *int64, x int64) {
+	for {
+		cur := atomic.LoadInt64(v)
+		if x >= cur || atomic.CompareAndSwapInt64(v, cur, x) {
+			return
+		}
+	}
+}
+
+// buildEnvs materializes up to workers envs: the provided primary plus
+// factory-built siblings. Factory failures degrade the worker count
+// instead of failing the search.
+func buildEnvs(primary *env.Env, newEnv EnvFactory, workers int) []*env.Env {
+	envs := []*env.Env{primary}
+	for len(envs) < workers && newEnv != nil {
+		e, err := newEnv()
+		if err != nil {
+			break
+		}
+		envs = append(envs, e)
+	}
+	return envs
+}
+
+// ExhaustiveSearchN is ExhaustiveSearch with the candidate space split
+// into one shard per first action, processed by up to workers
+// environments built from newEnv. Shard→subtree assignment is fixed by
+// the lexicographic order, shards are claimed dynamically, and the
+// reduction only counts shards a sequential scan would have reached, so
+// Found, Attack, Sequences, and Steps are independent of the worker
+// count. Non-replay-deterministic configurations run the sequential scan
+// on a single environment regardless of workers.
+func ExhaustiveSearchN(ctx context.Context, newEnv EnvFactory, length, budget, workers int) (Result, error) {
+	primary, err := newEnv()
+	if err != nil {
+		return Result{}, err
+	}
+	if !incrementalOK(primary) {
+		return exhaustiveLegacy(ctx, primary, length, budget), nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	envs := buildEnvs(primary, newEnv, workers)
+	return exhaustiveIncremental(ctx, envs, length, budget), nil
+}
+
+// exhaustiveIncremental runs the budget-bounded lexicographic DFS over
+// the action trie, sharded by first action across envs.
+func exhaustiveIncremental(ctx context.Context, envs []*env.Env, length, budget int) Result {
+	if ctx.Err() != nil {
+		return Result{}
+	}
+	e := envs[0]
+	pool := nonGuessActions(e)
+	total := powClamp(len(pool), length)
+	limit := budget
+	if limit < 1 {
+		limit = 1 // the scan checks its budget after evaluating a candidate
+	}
+	if total < limit {
+		limit = total
+	}
+	// Candidates at or beyond MaxSteps end the episode on their final
+	// action, which fails every candidate: the enumeration degenerates
+	// to counting. (The walker is gated on length < MaxSteps.)
+	if length >= e.MaxSteps() {
+		return Result{Sequences: limit}
+	}
+	if length == 0 {
+		// One empty candidate: it distinguishes exactly when there is at
+		// most one secret (a single empty signature never collides).
+		if len(e.Secrets()) <= 1 {
+			return Result{Found: true, Sequences: 1, Attack: []int{}}
+		}
+		return Result{Sequences: 1}
+	}
+
+	span := powClamp(len(pool), length-1)
+	nshards := len(pool)
+	outs := make([]shardOut, nshards)
+	for i := range outs {
+		outs[i].found = -1
+	}
+	bestF := notFound
+	var next int64
+
+	runShards := func(wk *walker) {
+		for {
+			i := int(atomic.AddInt64(&next, 1) - 1)
+			if i >= nshards {
+				return
+			}
+			start := satMul(i, span)
+			outs[i].start = start
+			outs[i].found = -1
+			if start >= limit {
+				// Budget never reaches this shard; it contributes nothing.
+				outs[i].completed = true
+				continue
+			}
+			if int64(start) > atomic.LoadInt64(&bestF) || ctx.Err() != nil {
+				continue // aborted: an earlier candidate already won
+			}
+			wk.truncate(0)
+			steps0 := wk.steps
+			found := -1
+			aborted := false
+			if wk.descend(pool[i]) {
+				found = start
+			} else if wk.depth < wk.length {
+				abort := func() bool {
+					return int64(start) > atomic.LoadInt64(&bestF) || ctx.Err() != nil
+				}
+				if f, ok, ab := wk.dfs(start, limit, abort); ok {
+					found = f
+				} else if ab {
+					aborted = true
+				}
+			}
+			outs[i].steps = wk.steps - steps0
+			if found >= 0 {
+				outs[i].found = found
+				outs[i].attack = wk.attack()
+				atomicMin(&bestF, int64(found))
+			} else if !aborted {
+				outs[i].completed = true
+				end := satAdd(start, span)
+				if end > limit {
+					end = limit
+				}
+				outs[i].count = end - start
+			}
+		}
+	}
+
+	if len(envs) == 1 {
+		runShards(newWalker(e, pool, length))
+	} else {
+		var wg sync.WaitGroup
+		for _, we := range envs {
+			wg.Add(1)
+			go func(we *env.Env) {
+				defer wg.Done()
+				runShards(newWalker(we, pool, length))
+			}(we)
+		}
+		wg.Wait()
+	}
+	return reduce(outs)
+}
+
+// randBatchSize is the candidate count per random-search batch: the unit
+// of parallel dispatch and of prefix-memoization scope. Batch boundaries
+// reset the walker's memo, so per-batch step counts are a pure function
+// of the batch's candidates and the reduction stays worker-count
+// invariant.
+const randBatchSize = 256
+
+// RandomSearchN is RandomSearch with candidate batches fanned out across
+// up to workers environments built from newEnv. The candidate stream is
+// drawn from a single sequential generator (identical to the sequential
+// scan's stream), batches are assigned deterministically, and the
+// reduction matches ExhaustiveSearchN's, so results are independent of
+// the worker count. Non-replay-deterministic configurations run the
+// sequential scan on one environment regardless of workers.
+func RandomSearchN(ctx context.Context, newEnv EnvFactory, length, budget int, seed int64, workers int) (Result, error) {
+	primary, err := newEnv()
+	if err != nil {
+		return Result{}, err
+	}
+	if !incrementalOK(primary) {
+		return randomLegacy(ctx, primary, length, budget, seed), nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	envs := buildEnvs(primary, newEnv, workers)
+	return randomIncremental(ctx, envs, length, budget, seed), nil
+}
+
+// randBatch is one dispatch unit: candidates [start, start+n) in sample
+// order, flattened row-major into cands.
+type randBatch struct {
+	index int
+	start int
+	n     int
+	cands []int
+}
+
+// randomIncremental evaluates the seed-ordered candidate stream through
+// per-worker walkers in fixed batches.
+func randomIncremental(ctx context.Context, envs []*env.Env, length, budget int, seed int64) Result {
+	if ctx.Err() != nil || budget <= 0 {
+		return Result{}
+	}
+	e := envs[0]
+	pool := nonGuessActions(e)
+	if length >= e.MaxSteps() {
+		// Every candidate ends its episode on the final action and fails.
+		return Result{Sequences: budget}
+	}
+	if length == 0 {
+		if len(e.Secrets()) <= 1 {
+			return Result{Found: true, Sequences: 1, Attack: []int{}}
+		}
+		return Result{Sequences: budget}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	nbatches := (budget + randBatchSize - 1) / randBatchSize
+	outs := make([]shardOut, nbatches)
+	for i := range outs {
+		outs[i].found = -1
+	}
+	bestF := notFound
+
+	// The candidate stream must be drawn sequentially from one generator
+	// (rand.Intn's rejection sampling makes per-candidate draw counts
+	// data-dependent, so streams cannot be split), so a single producer
+	// materializes batches in order.
+	gen := func(b int) randBatch {
+		start := b * randBatchSize
+		n := randBatchSize
+		if start+n > budget {
+			n = budget - start
+		}
+		cands := make([]int, n*length)
+		for i := range cands {
+			cands[i] = pool[rng.Intn(len(pool))]
+		}
+		return randBatch{index: b, start: start, n: n, cands: cands}
+	}
+
+	evalBatch := func(wk *walker, b randBatch) {
+		out := &outs[b.index]
+		out.start = b.start
+		out.found = -1
+		if int64(b.start) > atomic.LoadInt64(&bestF) || ctx.Err() != nil {
+			return // aborted
+		}
+		wk.truncate(0) // memo scope is the batch
+		steps0 := wk.steps
+		for j := 0; j < b.n; j++ {
+			cand := b.cands[j*length : (j+1)*length]
+			if wk.evalCandidate(cand) {
+				out.found = b.start + j
+				out.attack = append([]int(nil), cand...)
+				atomicMin(&bestF, int64(out.found))
+				break
+			}
+		}
+		out.steps = wk.steps - steps0
+		if out.found < 0 {
+			out.completed = true
+			out.count = b.n
+		}
+	}
+
+	if len(envs) == 1 {
+		wk := newWalker(e, pool, length)
+		for b := 0; b < nbatches; b++ {
+			batch := gen(b)
+			evalBatch(wk, batch)
+			if outs[b].found >= 0 || ctx.Err() != nil {
+				break
+			}
+		}
+		return reduce(outs)
+	}
+
+	batches := make(chan randBatch, len(envs))
+	var wg sync.WaitGroup
+	for _, we := range envs {
+		wg.Add(1)
+		go func(we *env.Env) {
+			defer wg.Done()
+			wk := newWalker(we, pool, length)
+			for b := range batches {
+				evalBatch(wk, b)
+			}
+		}(we)
+	}
+	for b := 0; b < nbatches; b++ {
+		if int64(b*randBatchSize) > atomic.LoadInt64(&bestF) || ctx.Err() != nil {
+			break // no batch at or before the best find remains unproduced
+		}
+		batches <- gen(b)
+	}
+	close(batches)
+	wg.Wait()
+	return reduce(outs)
+}

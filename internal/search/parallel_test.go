@@ -1,0 +1,239 @@
+package search
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"autocat/internal/cache"
+	"autocat/internal/env"
+)
+
+// factoryFor returns an EnvFactory producing fresh envs from cfg.
+func factoryFor(t *testing.T, cfg env.Config) EnvFactory {
+	t.Helper()
+	return func() (*env.Env, error) { return env.New(cfg) }
+}
+
+func twoWayCfg() env.Config {
+	return env.Config{
+		Cache:      cache.Config{NumBlocks: 2, NumWays: 2},
+		AttackerLo: 1, AttackerHi: 2,
+		VictimLo: 0, VictimHi: 0,
+		VictimNoAccess: true,
+		WindowSize:     10,
+		Warmup:         -1,
+		Seed:           3,
+	}
+}
+
+func noFindCfg() env.Config {
+	return env.Config{
+		Cache:      cache.Config{NumBlocks: 4, NumWays: 4},
+		AttackerLo: 1, AttackerHi: 2,
+		VictimLo: 0, VictimHi: 0,
+		VictimNoAccess: true,
+		WindowSize:     8,
+		Warmup:         -1,
+		Seed:           2,
+	}
+}
+
+// TestIncrementalMatchesLegacy pins the equivalence contract: on
+// replay-deterministic configs the trie-walking searches report the same
+// Found, Sequences, and Attack as the re-simulating scan, with no more
+// environment steps.
+func TestIncrementalMatchesLegacy(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    env.Config
+		length int
+		budget int
+		seed   int64
+	}{
+		{"tiny-find", twoWayCfg(), 5, 5000, 11},
+		{"no-find-exhaust", noFindCfg(), 2, 30, 3},
+		{"budget-one", twoWayCfg(), 3, 1, 5},
+		{"budget-zero", twoWayCfg(), 3, 0, 5},
+	}
+	ctx := context.Background()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			le, err := env.New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ie, err := env.New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !incrementalOK(ie) {
+				t.Fatal("test config must be replay-deterministic")
+			}
+
+			lr := exhaustiveLegacy(ctx, le, tc.length, tc.budget)
+			ir := exhaustiveIncremental(ctx, []*env.Env{ie}, tc.length, tc.budget)
+			if lr.Found != ir.Found || lr.Sequences != ir.Sequences || !reflect.DeepEqual(lr.Attack, ir.Attack) {
+				t.Fatalf("exhaustive diverged: legacy %+v vs incremental %+v", lr, ir)
+			}
+			if ir.Steps > lr.Steps {
+				t.Fatalf("incremental exhaustive used more steps (%d) than legacy (%d)", ir.Steps, lr.Steps)
+			}
+
+			if tc.budget > 0 {
+				lr = randomLegacy(ctx, le, tc.length, tc.budget, tc.seed)
+				ir = randomIncremental(ctx, []*env.Env{ie}, tc.length, tc.budget, tc.seed)
+				if lr.Found != ir.Found || lr.Sequences != ir.Sequences || !reflect.DeepEqual(lr.Attack, ir.Attack) {
+					t.Fatalf("random diverged: legacy %+v vs incremental %+v", lr, ir)
+				}
+				if ir.Steps > lr.Steps {
+					t.Fatalf("incremental random used more steps (%d) than legacy (%d)", ir.Steps, lr.Steps)
+				}
+			}
+		})
+	}
+}
+
+// TestSearchWorkerCountInvariance is the sharding determinism gate: the
+// full Result — including Steps — must be identical for every worker
+// count, both when a find exists and when the budget exhausts.
+func TestSearchWorkerCountInvariance(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name   string
+		cfg    env.Config
+		length int
+		budget int
+	}{
+		{"find", twoWayCfg(), 5, 5000},
+		{"exhaust", noFindCfg(), 2, 30},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var exBase, rdBase Result
+			for i, workers := range []int{1, 2, 4} {
+				ex, err := ExhaustiveSearchN(ctx, factoryFor(t, tc.cfg), tc.length, tc.budget, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rd, err := RandomSearchN(ctx, factoryFor(t, tc.cfg), tc.length, tc.budget, 11, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i == 0 {
+					exBase, rdBase = ex, rd
+					continue
+				}
+				if !reflect.DeepEqual(ex, exBase) {
+					t.Fatalf("exhaustive result varies with workers=%d: %+v vs %+v", workers, ex, exBase)
+				}
+				if !reflect.DeepEqual(rd, rdBase) {
+					t.Fatalf("random result varies with workers=%d: %+v vs %+v", workers, rd, rdBase)
+				}
+			}
+		})
+	}
+}
+
+// TestSearchNMatchesSingleEnvAPI ties the sharded entry points to the
+// single-env API: workers=1 through the factory must equal the direct
+// call.
+func TestSearchNMatchesSingleEnvAPI(t *testing.T) {
+	ctx := context.Background()
+	cfg := twoWayCfg()
+	e, err := env.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := ExhaustiveSearch(ctx, e, 4, 500)
+	sharded, err := ExhaustiveSearchN(ctx, factoryFor(t, cfg), 4, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, sharded) {
+		t.Fatalf("ExhaustiveSearchN(1) %+v != ExhaustiveSearch %+v", sharded, direct)
+	}
+	directR := RandomSearch(ctx, e, 4, 500, 9)
+	shardedR, err := RandomSearchN(ctx, factoryFor(t, cfg), 4, 500, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(directR, shardedR) {
+		t.Fatalf("RandomSearchN(1) %+v != RandomSearch %+v", shardedR, directR)
+	}
+}
+
+// TestSearchNLegacyFallback: non-replay-deterministic configs (random
+// replacement) must take the sequential legacy path regardless of the
+// requested worker count and match the single-env search exactly.
+func TestSearchNLegacyFallback(t *testing.T) {
+	cfg := twoWayCfg()
+	cfg.Cache.Policy = cache.Random
+	ctx := context.Background()
+	e, err := env.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if incrementalOK(e) {
+		t.Fatal("random replacement must not be replay-deterministic")
+	}
+	want := randomLegacy(ctx, e, 3, 200, 5)
+	got, err := RandomSearchN(ctx, factoryFor(t, cfg), 3, 200, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("fallback diverged: %+v vs %+v", got, want)
+	}
+}
+
+// TestSearchEdgeLengths pins the arithmetic fast paths: length 0 and
+// length ≥ MaxSteps agree with the legacy scan on Found, Sequences, and
+// Attack for both searches.
+func TestSearchEdgeLengths(t *testing.T) {
+	ctx := context.Background()
+	cfg := twoWayCfg()
+	for _, length := range []int{0, 10, 12} { // WindowSize is 10
+		le, err := env.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ie, err := env.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lr := exhaustiveLegacy(ctx, le, length, 20)
+		ir := exhaustiveIncremental(ctx, []*env.Env{ie}, length, 20)
+		if lr.Found != ir.Found || lr.Sequences != ir.Sequences || !reflect.DeepEqual(lr.Attack, ir.Attack) {
+			t.Fatalf("length %d exhaustive: legacy %+v vs incremental %+v", length, lr, ir)
+		}
+		lr = randomLegacy(ctx, le, length, 20, 1)
+		ir = randomIncremental(ctx, []*env.Env{ie}, length, 20, 1)
+		if lr.Found != ir.Found || lr.Sequences != ir.Sequences || !reflect.DeepEqual(lr.Attack, ir.Attack) {
+			t.Fatalf("length %d random: legacy %+v vs incremental %+v", length, lr, ir)
+		}
+	}
+}
+
+// TestDFSDescendZeroAlloc pins the DFS inner loop's allocation contract:
+// once the walker's per-depth buffers exist, sibling moves
+// (truncate+descend) allocate nothing.
+func TestDFSDescendZeroAlloc(t *testing.T) {
+	e, err := env.New(twoWayCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := nonGuessActions(e)
+	wk := newWalker(e, pool, 4)
+	wk.descend(pool[0])
+	wk.descend(pool[1]) // populate depth-2 snapshots once
+	allocs := testing.AllocsPerRun(100, func() {
+		wk.truncate(1)
+		wk.descend(pool[0])
+		wk.truncate(1)
+		wk.descend(pool[1])
+	})
+	if allocs != 0 {
+		t.Fatalf("descend allocated %v per run, want 0", allocs)
+	}
+}

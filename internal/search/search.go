@@ -2,6 +2,14 @@
 // sequence search for distinguishing attack sequences, and the closed-form
 // expected-trials estimate M = 2(N+1)^(2N+1)/(N!)² for finding a
 // prime+probe sequence on an N-way set by chance.
+//
+// On replay-deterministic configurations both searches run incrementally:
+// the candidate space is walked as a trie with one env snapshot per depth
+// per secret, so a new candidate costs roughly one step per secret
+// instead of replaying its whole prefix (see walker.go). Configurations
+// whose episode outcomes are history-dependent (random replacement, skew,
+// active CEASER rekeying, warm-up) fall back to the faithful re-simulating
+// scan so results are unchanged.
 package search
 
 import (
@@ -32,10 +40,14 @@ func ExpectedSteps(n int) float64 {
 // not include guesses) produces a distinct attacker observation vector for
 // every possible secret, i.e. whether a decision rule over the prefix's
 // hit/miss observations can always recover the secret. This is the
-// success predicate of the random-search baseline.
-func Distinguishes(e *env.Env, prefix []int) bool {
+// success predicate of the random-search baseline. The second return is
+// the number of environment steps actually consumed: evaluation stops
+// early on a guess action, a finished episode, or a signature collision,
+// and only the steps executed up to that point are charged.
+func Distinguishes(e *env.Env, prefix []int) (bool, int) {
 	secrets := e.Secrets()
 	seen := map[string]bool{}
+	steps := 0
 	for _, s := range secrets {
 		e.Reset()
 		e.ForceSecret(s)
@@ -43,38 +55,69 @@ func Distinguishes(e *env.Env, prefix []int) bool {
 		for _, a := range prefix {
 			kind, _ := e.DecodeAction(a)
 			if kind == env.KindGuess || kind == env.KindGuessNone {
-				return false
+				return false, steps
 			}
-			_, _, done := e.Step(a)
-			tr := e.Trace()
-			last := tr[len(tr)-1]
-			switch {
-			case last.Kind != env.KindAccess:
-				sig = append(sig, 'n')
-			case last.Hit:
-				sig = append(sig, 'h')
-			default:
-				sig = append(sig, 'm')
-			}
+			_, done := e.StepLite(a)
+			steps++
+			sig = append(sig, sigCharOf(e))
 			if done {
-				return false
+				return false, steps
 			}
 		}
 		key := string(sig)
 		if seen[key] {
-			return false
+			return false, steps
 		}
 		seen[key] = true
 	}
-	return true
+	return true, steps
+}
+
+// sigCharOf classifies the env's most recent step for the signature:
+// 'n' for non-access actions, 'h'/'m' for attacker access hit/miss.
+func sigCharOf(e *env.Env) byte {
+	tr := e.Trace()
+	last := tr[len(tr)-1]
+	switch {
+	case last.Kind != env.KindAccess:
+		return 'n'
+	case last.Hit:
+		return 'h'
+	default:
+		return 'm'
+	}
 }
 
 // Result summarizes one search run.
 type Result struct {
 	Found     bool
 	Sequences int // candidate sequences evaluated
-	Steps     int // total environment steps spent
+	Steps     int // environment steps actually executed by the search
 	Attack    []int
+}
+
+// nonGuessActions enumerates the candidate action pool: every action
+// except guesses (a guess ends the episode and carries no signature).
+func nonGuessActions(e *env.Env) []int {
+	var pool []int
+	for a := 0; a < e.NumActions(); a++ {
+		kind, _ := e.DecodeAction(a)
+		if kind != env.KindGuess && kind != env.KindGuessNone {
+			pool = append(pool, a)
+		}
+	}
+	return pool
+}
+
+// incrementalOK reports whether the snapshot-based trie walk may replace
+// the re-simulating scan on this env: the env must be snapshot-capable,
+// episode outcomes must be a pure function of (secret, actions) — no
+// RNG stream that survives Reset consumed mid-episode — and warm-up must
+// be disabled (warm-up draws from the env stream at every Reset, making
+// signatures episode-dependent; the scan is kept so existing results on
+// such configs are preserved bit-for-bit).
+func incrementalOK(e *env.Env) bool {
+	return e.Config().Warmup < 0 && e.SnapshotSupported() && e.ReplayDeterministic()
 }
 
 // RandomSearch samples uniformly random non-guess prefixes of the given
@@ -83,16 +126,21 @@ type Result struct {
 // be sound (random warm-up would make signatures episode-dependent).
 // Cancelling the context aborts the search promptly (checked once per
 // candidate sequence) and returns the partial result with Found false.
+//
+// On replay-deterministic configs candidates are evaluated through the
+// incremental trie walker, memoizing the overlap between consecutively
+// sampled prefixes; the candidate stream, Found, Attack, and Sequences
+// are identical to the re-simulating scan.
 func RandomSearch(ctx context.Context, e *env.Env, length, budget int, seed int64) Result {
-	rng := rand.New(rand.NewSource(seed))
-	// Enumerate the non-guess actions once.
-	var pool []int
-	for a := 0; a < e.NumActions(); a++ {
-		kind, _ := e.DecodeAction(a)
-		if kind != env.KindGuess && kind != env.KindGuessNone {
-			pool = append(pool, a)
-		}
+	if incrementalOK(e) {
+		return randomIncremental(ctx, []*env.Env{e}, length, budget, seed)
 	}
+	return randomLegacy(ctx, e, length, budget, seed)
+}
+
+func randomLegacy(ctx context.Context, e *env.Env, length, budget int, seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	pool := nonGuessActions(e)
 	var res Result
 	prefix := make([]int, length)
 	for res.Sequences < budget && ctx.Err() == nil {
@@ -100,8 +148,9 @@ func RandomSearch(ctx context.Context, e *env.Env, length, budget int, seed int6
 			prefix[i] = pool[rng.Intn(len(pool))]
 		}
 		res.Sequences++
-		res.Steps += len(prefix) * len(e.Secrets())
-		if Distinguishes(e, prefix) {
+		ok, consumed := Distinguishes(e, prefix)
+		res.Steps += consumed
+		if ok {
 			res.Found = true
 			res.Attack = append([]int(nil), prefix...)
 			return res
@@ -111,18 +160,23 @@ func RandomSearch(ctx context.Context, e *env.Env, length, budget int, seed int6
 }
 
 // ExhaustiveSearch tries every prefix of the given length in
-// lexicographic order. It is only tractable for tiny configurations and
-// exists to show the search-space blowup the paper argues about.
-// Cancelling the context aborts the enumeration promptly (checked once
-// per candidate sequence).
+// lexicographic order until one distinguishes all secrets or the budget
+// is exhausted. Cancelling the context aborts the enumeration promptly.
+//
+// On replay-deterministic configs the enumeration is a depth-first walk
+// of the action trie sharing one snapshot per depth per secret, with
+// whole subtrees resolved arithmetically once every secret's signature
+// has split; Found, Attack, and Sequences are identical to the
+// re-simulating scan.
 func ExhaustiveSearch(ctx context.Context, e *env.Env, length, budget int) Result {
-	var pool []int
-	for a := 0; a < e.NumActions(); a++ {
-		kind, _ := e.DecodeAction(a)
-		if kind != env.KindGuess && kind != env.KindGuessNone {
-			pool = append(pool, a)
-		}
+	if incrementalOK(e) {
+		return exhaustiveIncremental(ctx, []*env.Env{e}, length, budget)
 	}
+	return exhaustiveLegacy(ctx, e, length, budget)
+}
+
+func exhaustiveLegacy(ctx context.Context, e *env.Env, length, budget int) Result {
+	pool := nonGuessActions(e)
 	var res Result
 	prefix := make([]int, length)
 	idx := make([]int, length)
@@ -131,8 +185,9 @@ func ExhaustiveSearch(ctx context.Context, e *env.Env, length, budget int) Resul
 			prefix[i] = pool[idx[i]]
 		}
 		res.Sequences++
-		res.Steps += length * len(e.Secrets())
-		if Distinguishes(e, prefix) {
+		ok, consumed := Distinguishes(e, prefix)
+		res.Steps += consumed
+		if ok {
 			res.Found = true
 			res.Attack = append([]int(nil), prefix...)
 			return res

@@ -52,15 +52,15 @@ func searchEnv(t *testing.T) *env.Env {
 func TestDistinguishesKnownAttack(t *testing.T) {
 	e := searchEnv(t)
 	attack := []int{e.AccessAction(1), e.VictimAction(), e.AccessAction(1)}
-	if !Distinguishes(e, attack) {
+	if ok, _ := Distinguishes(e, attack); !ok {
 		t.Fatal("prime→trigger→probe must distinguish the 1-bit secret")
 	}
 	// Without the probe the observations are identical for both secrets.
-	if Distinguishes(e, []int{e.AccessAction(1), e.VictimAction()}) {
+	if ok, _ := Distinguishes(e, []int{e.AccessAction(1), e.VictimAction()}); ok {
 		t.Fatal("prefix without a probe cannot distinguish")
 	}
 	// Guess actions inside the prefix are rejected.
-	if Distinguishes(e, []int{e.GuessNoneAction()}) {
+	if ok, _ := Distinguishes(e, []int{e.GuessNoneAction()}); ok {
 		t.Fatal("prefixes containing guesses are invalid candidates")
 	}
 }
@@ -71,7 +71,7 @@ func TestRandomSearchFindsTinyAttack(t *testing.T) {
 	if !res.Found {
 		t.Fatalf("random search failed within %d sequences", res.Sequences)
 	}
-	if !Distinguishes(e, res.Attack) {
+	if ok, _ := Distinguishes(e, res.Attack); !ok {
 		t.Fatal("returned attack does not distinguish")
 	}
 	if res.Steps == 0 {
@@ -109,7 +109,7 @@ func TestExhaustiveSearchFindsTinyAttack(t *testing.T) {
 	if !res.Found {
 		t.Fatalf("exhaustive search failed in %d sequences", res.Sequences)
 	}
-	if !Distinguishes(e, res.Attack) {
+	if ok, _ := Distinguishes(e, res.Attack); !ok {
 		t.Fatal("returned attack does not distinguish")
 	}
 }

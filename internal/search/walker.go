@@ -1,0 +1,245 @@
+package search
+
+import (
+	"fmt"
+
+	"autocat/internal/env"
+)
+
+// walker is the incremental trie walker at the heart of both searches:
+// it tracks a current prefix (a path in the non-guess action trie) and,
+// per depth, an env snapshot for every secret still "live" at that node
+// plus a partition of the live secrets by signature-so-far. Moving to a
+// sibling or child node costs one restore + one StepLite per live secret
+// instead of replaying the whole prefix from Reset.
+//
+// Live secrets: a secret whose signature-so-far already differs from
+// every other secret's can never collide at full length, so it is
+// dropped from deeper levels ("singleton skip"). A candidate prefix
+// distinguishes all secrets exactly when the live set refines to empty
+// at (or before) full length — episode termination cannot fail a
+// candidate because the walker is only used when length < MaxSteps, the
+// only within-episode termination source on gated configs.
+//
+// All per-depth buffers are preallocated at construction; descend and
+// truncate are allocation-free in steady state.
+type walker struct {
+	e      *env.Env
+	pool   []int
+	length int
+	nsec   int
+
+	depth int
+	path  []int
+
+	// Per depth d in [0,length]: live[d] holds the indices of secrets
+	// still undistinguished after the first d actions, cls[d] their
+	// signature-equivalence class ids (dense, per depth). snaps[d] is
+	// indexed by secret index, valid for the secrets in live[d].
+	live  [][]int
+	cls   [][]int
+	snaps [][]env.Snapshot
+
+	// Refinement scratch, sized 3×nsec (class id × signature char).
+	chars    []byte
+	keyCount []int
+	keyID    []int
+
+	steps int // StepLite calls executed so far
+}
+
+// newWalker builds a walker rooted at the env's per-secret reset states.
+// The caller must have gated on incrementalOK and length < e.MaxSteps().
+func newWalker(e *env.Env, pool []int, length int) *walker {
+	secrets := e.Secrets()
+	n := len(secrets)
+	w := &walker{
+		e:        e,
+		pool:     pool,
+		length:   length,
+		nsec:     n,
+		path:     make([]int, length),
+		live:     make([][]int, length+1),
+		cls:      make([][]int, length+1),
+		snaps:    make([][]env.Snapshot, length+1),
+		chars:    make([]byte, n),
+		keyCount: make([]int, 3*n),
+		keyID:    make([]int, 3*n),
+	}
+	for d := 0; d <= length; d++ {
+		w.live[d] = make([]int, 0, n)
+		w.cls[d] = make([]int, 0, n)
+		w.snaps[d] = make([]env.Snapshot, n)
+	}
+	// Root: every secret's post-Reset state. With a single secret the
+	// root live set is already empty — any prefix distinguishes.
+	for i, s := range secrets {
+		e.Reset()
+		e.ForceSecret(s)
+		e.SnapshotLiteInto(&w.snaps[0][i])
+		if n > 1 {
+			w.live[0] = append(w.live[0], i)
+			w.cls[0] = append(w.cls[0], 0)
+		}
+	}
+	return w
+}
+
+// truncate rewinds the walker's current prefix to depth d. Per-depth
+// state at and above d stays valid; deeper levels are overwritten by the
+// next descend calls.
+func (w *walker) truncate(d int) { w.depth = d }
+
+// descend extends the current prefix with action a: every live secret is
+// restored to the current node's snapshot, stepped once, re-snapshotted
+// (unless the child is a leaf), and the live partition is refined by the
+// observed signature characters. It reports whether the live set became
+// empty — i.e. every secret pair is distinguished and every extension of
+// the new prefix (including itself, at full length) is an attack.
+func (w *walker) descend(a int) (allSingleton bool) {
+	d := w.depth
+	lv, cl := w.live[d], w.cls[d]
+	needSnap := d+1 < w.length
+	for j, s := range lv {
+		w.e.RestoreFrom(&w.snaps[d][s])
+		if _, done := w.e.StepLite(a); done {
+			panic(fmt.Sprintf("search: episode ended at depth %d despite length %d < MaxSteps gate", d+1, w.length))
+		}
+		w.steps++
+		w.chars[j] = sigCharOf(w.e)
+		if needSnap {
+			w.e.SnapshotLiteInto(&w.snaps[d+1][s])
+		}
+	}
+
+	// Refine: new class key = (old class, observed char). Only keys with
+	// two or more members stay live.
+	for j := range lv {
+		w.keyCount[cl[j]*3+charIdx(w.chars[j])] = 0
+		w.keyID[cl[j]*3+charIdx(w.chars[j])] = -1
+	}
+	for j := range lv {
+		w.keyCount[cl[j]*3+charIdx(w.chars[j])]++
+	}
+	nl, nc := w.live[d+1][:0], w.cls[d+1][:0]
+	next := 0
+	for j, s := range lv {
+		k := cl[j]*3 + charIdx(w.chars[j])
+		if w.keyCount[k] < 2 {
+			continue
+		}
+		if w.keyID[k] < 0 {
+			w.keyID[k] = next
+			next++
+		}
+		nl = append(nl, s)
+		nc = append(nc, w.keyID[k])
+	}
+	w.live[d+1], w.cls[d+1] = nl, nc
+	w.path[d] = a
+	w.depth = d + 1
+	return len(nl) == 0
+}
+
+func charIdx(c byte) int {
+	switch c {
+	case 'h':
+		return 1
+	case 'm':
+		return 2
+	default:
+		return 0
+	}
+}
+
+// attack materializes the lexicographically-first full-length candidate
+// under the walker's current position: the current prefix padded with
+// the first pool action.
+func (w *walker) attack() []int {
+	out := append([]int(nil), w.path[:w.depth]...)
+	for len(out) < w.length {
+		out = append(out, w.pool[0])
+	}
+	return out
+}
+
+// dfs explores the subtree under the current position in lexicographic
+// order. base is the global candidate index of the subtree's first leaf
+// and limit the exclusive candidate budget bound. It returns the index
+// of the first distinguishing candidate (ok true), or ok false when the
+// subtree is exhausted or budget-pruned. abort is polled once per node;
+// returning true abandons the subtree (aborted true), used for
+// cross-shard cancellation and context checks.
+func (w *walker) dfs(base, limit int, abort func() bool) (found int, ok, aborted bool) {
+	d := w.depth
+	span := powClamp(len(w.pool), w.length-d-1)
+	for i, a := range w.pool {
+		cb := satAdd(base, satMul(i, span))
+		if cb >= limit {
+			return 0, false, false
+		}
+		if abort != nil && abort() {
+			return 0, false, true
+		}
+		if w.descend(a) {
+			return cb, true, false
+		}
+		if w.depth < w.length {
+			if f, ok2, ab := w.dfs(cb, limit, abort); ok2 || ab {
+				return f, ok2, ab
+			}
+		}
+		w.truncate(d)
+	}
+	return 0, false, false
+}
+
+// evalCandidate evaluates one full-length candidate through the walker,
+// reusing the longest prefix shared with the previously evaluated
+// candidate. It reports whether the candidate distinguishes all secrets.
+func (w *walker) evalCandidate(cand []int) bool {
+	cp := 0
+	for cp < w.depth && w.path[cp] == cand[cp] {
+		cp++
+	}
+	w.truncate(cp)
+	for d := cp; d < len(cand); d++ {
+		if w.descend(cand[d]) {
+			return true
+		}
+	}
+	return len(cand) == 0 && w.nsec <= 1
+}
+
+// seqCap saturates candidate-index arithmetic: pool^length overflows
+// int64 long before any budget reaches it, so indices clamp here.
+const seqCap = int(1) << 62
+
+func satAdd(a, b int) int {
+	if a >= seqCap-b {
+		return seqCap
+	}
+	return a + b
+}
+
+func satMul(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a >= seqCap/b {
+		return seqCap
+	}
+	return a * b
+}
+
+// powClamp returns p^n clamped to seqCap.
+func powClamp(p, n int) int {
+	out := 1
+	for ; n > 0; n-- {
+		out = satMul(out, p)
+		if out >= seqCap {
+			return seqCap
+		}
+	}
+	return out
+}
